@@ -1,0 +1,274 @@
+//! A generic iterative data-flow solver.
+//!
+//! The optimizer's availability (forward) and anticipatability (backward)
+//! systems over the check domain, and the four predicate systems of lazy
+//! code motion, are all instances of [`Problem`] solved by [`solve`].
+
+use nascent_ir::{BlockId, Function};
+
+/// Direction of propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow along CFG edges (entry to exit).
+    Forward,
+    /// Facts flow against CFG edges (exit to entry).
+    Backward,
+}
+
+/// A data-flow problem over per-block facts.
+///
+/// For a forward problem, `transfer` maps the fact at block entry to the
+/// fact at block exit; `meet` combines the exit facts of predecessors.
+/// For a backward problem the roles are mirrored.
+pub trait Problem {
+    /// The lattice element.
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// Fact at the boundary: function entry (forward) or every function
+    /// exit (backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Initial optimistic fact for all non-boundary program points.
+    fn top(&self) -> Self::Fact;
+
+    /// Lattice meet.
+    fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact;
+
+    /// Block transfer function.
+    fn transfer(&self, f: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Solution: the fact at each block entry and exit.
+///
+/// For both directions, `entry[b]` is the fact holding immediately before
+/// the first statement of `b`, and `exit[b]` immediately after the
+/// terminator.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at each block's entry.
+    pub entry: Vec<F>,
+    /// Fact at each block's exit.
+    pub exit: Vec<F>,
+    /// Number of worklist iterations used (for the compile-time tables).
+    pub iterations: u64,
+}
+
+/// Solves a data-flow problem to fixpoint with a worklist.
+pub fn solve<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
+    let n = f.blocks.len();
+    let preds = f.predecessors();
+    let rpo = f.reverse_postorder();
+    let mut entry: Vec<P::Fact> = vec![p.top(); n];
+    let mut exit: Vec<P::Fact> = vec![p.top(); n];
+    let mut iterations: u64 = 0;
+
+    match p.direction() {
+        Direction::Forward => {
+            let mut work: Vec<BlockId> = rpo.clone();
+            while let Some(b) = pop_front(&mut work) {
+                iterations += 1;
+                let in_fact = if b == f.entry {
+                    p.boundary()
+                } else {
+                    let mut acc: Option<P::Fact> = None;
+                    for &q in &preds[b.index()] {
+                        acc = Some(match acc {
+                            None => exit[q.index()].clone(),
+                            Some(a) => p.meet(&a, &exit[q.index()]),
+                        });
+                    }
+                    acc.unwrap_or_else(|| p.top())
+                };
+                let out_fact = p.transfer(f, b, &in_fact);
+                let changed = entry[b.index()] != in_fact || exit[b.index()] != out_fact;
+                entry[b.index()] = in_fact;
+                if changed {
+                    exit[b.index()] = out_fact;
+                    for s in f.successors(b) {
+                        if !work.contains(&s) {
+                            work.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        Direction::Backward => {
+            let mut work: Vec<BlockId> = rpo.iter().rev().copied().collect();
+            while let Some(b) = pop_front(&mut work) {
+                iterations += 1;
+                let succs = f.successors(b);
+                let out_fact = if succs.is_empty() {
+                    p.boundary()
+                } else {
+                    let mut acc: Option<P::Fact> = None;
+                    for &s in &succs {
+                        acc = Some(match acc {
+                            None => entry[s.index()].clone(),
+                            Some(a) => p.meet(&a, &entry[s.index()]),
+                        });
+                    }
+                    acc.expect("non-empty succs")
+                };
+                let in_fact = p.transfer(f, b, &out_fact);
+                let changed = exit[b.index()] != out_fact || entry[b.index()] != in_fact;
+                exit[b.index()] = out_fact;
+                if changed {
+                    entry[b.index()] = in_fact;
+                    for &q in &preds[b.index()] {
+                        if !work.contains(&q) {
+                            work.push(q);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Solution {
+        entry,
+        exit,
+        iterations,
+    }
+}
+
+fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+    use nascent_ir::Stmt;
+    use std::collections::BTreeSet;
+    use nascent_ir::VarId;
+
+    /// Classic reaching-"constant-ness": forward must-be-assigned analysis.
+    /// Fact = set of variables assigned on every path.
+    struct MustAssigned;
+
+    impl Problem for MustAssigned {
+        type Fact = Option<BTreeSet<VarId>>; // None = top (unvisited)
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn boundary(&self) -> Self::Fact {
+            Some(BTreeSet::new())
+        }
+
+        fn top(&self) -> Self::Fact {
+            None
+        }
+
+        fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+            match (a, b) {
+                (None, x) | (x, None) => x.clone(),
+                (Some(a), Some(b)) => Some(a.intersection(b).cloned().collect()),
+            }
+        }
+
+        fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact {
+            let mut out = fact.clone()?;
+            for s in &f.block(b).stmts {
+                if let Some(v) = s.defined_var() {
+                    out.insert(v);
+                }
+            }
+            Some(out)
+        }
+    }
+
+    #[test]
+    fn forward_meet_is_path_intersection() {
+        let p = compile(
+            "program p\n integer x, y, c\n c = 1\n if (c > 0) then\n x = 1\n else\n y = 2\n endif\n print c\nend\n",
+        )
+        .unwrap();
+        let f = p.main_function();
+        let sol = solve(f, &MustAssigned);
+        // find the join block: the one containing the Emit
+        let join = f
+            .block_ids()
+            .find(|b| {
+                f.block(*b)
+                    .stmts
+                    .iter()
+                    .any(|s| matches!(s, Stmt::Emit(_)))
+            })
+            .unwrap();
+        let at_join = sol.entry[join.index()].as_ref().unwrap();
+        // c assigned on both paths; x and y only on one each
+        assert!(at_join.contains(&VarId(2)));
+        assert!(!at_join.contains(&VarId(0)));
+        assert!(!at_join.contains(&VarId(1)));
+    }
+
+    /// Backward liveness over a tiny universe.
+    struct Live;
+
+    impl Problem for Live {
+        type Fact = BTreeSet<VarId>;
+
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+
+        fn boundary(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+
+        fn top(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+
+        fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+            a.union(b).cloned().collect()
+        }
+
+        fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact {
+            let mut live = fact.clone();
+            // include terminator uses
+            if let nascent_ir::Terminator::Branch { cond, .. } = &f.block(b).term {
+                live.extend(cond.vars());
+            }
+            for s in f.block(b).stmts.iter().rev() {
+                if let Some(v) = s.defined_var() {
+                    live.remove(&v);
+                }
+                match s {
+                    Stmt::Assign { value, .. } => live.extend(value.vars()),
+                    Stmt::Emit(e) => live.extend(e.vars()),
+                    _ => {}
+                }
+            }
+            live
+        }
+    }
+
+    #[test]
+    fn backward_liveness_through_loop() {
+        let p = compile(
+            "program p\n integer i, s, n\n n = 10\n s = 0\n do i = 1, n\n s = s + i\n enddo\n print s\nend\n",
+        )
+        .unwrap();
+        let f = p.main_function();
+        let sol = solve(f, &Live);
+        // At function entry nothing is live (everything assigned first).
+        assert!(sol.entry[f.entry.index()].is_empty());
+        // s (VarId 1) is live at entry to the loop header.
+        let header = f
+            .block_ids()
+            .find(|b| matches!(f.block(*b).term, nascent_ir::Terminator::Branch { .. }))
+            .unwrap();
+        assert!(sol.entry[header.index()].contains(&VarId(1)));
+        assert!(sol.iterations > f.blocks.len() as u64); // looped at least once
+    }
+}

@@ -1,0 +1,380 @@
+//! Dominator tree and dominance frontiers, via the Cooper–Harvey–Kennedy
+//! "simple, fast dominance" algorithm.
+
+use nascent_ir::{BlockId, Function};
+
+/// Dominator information for a function.
+///
+/// Blocks unreachable from entry have no immediate dominator and are
+/// reported as dominated by nothing (and dominating nothing but
+/// themselves).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator per block (`None` for entry and unreachables).
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post-order of reachable blocks.
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    rpo_pos: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for `f`.
+    pub fn compute(f: &Function) -> Dominators {
+        let n = f.blocks.len();
+        let rpo = f.reverse_postorder();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        let preds = f.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.index()] = Some(f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // entry's idom is conventionally itself during computation; store None
+        idom[f.entry.index()] = None;
+        Dominators { idom, rpo, rpo_pos }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry block and
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[b.index()] == usize::MAX {
+            return a == b;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Reverse post-order of reachable blocks.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// True if `b` is reachable from entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+
+    /// Dominance frontier of every block.
+    pub fn frontiers(&self, f: &Function) -> Vec<Vec<BlockId>> {
+        let n = f.blocks.len();
+        let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let preds = f.predecessors();
+        for b in f.block_ids() {
+            if !self.is_reachable(b) || preds[b.index()].len() < 2 {
+                continue;
+            }
+            let Some(target) = self.idom(b) else { continue };
+            for &p in &preds[b.index()] {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != target {
+                    if !df[runner.index()].contains(&b) {
+                        df[runner.index()].push(b);
+                    }
+                    match self.idom(runner) {
+                        Some(d) => runner = d,
+                        None => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_pos: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_pos[a.index()] > rpo_pos[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_pos[b.index()] > rpo_pos[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+/// Post-dominator information, computed on the reverse CFG with a virtual
+/// exit that all `Return` blocks feed into.
+///
+/// Blocks that cannot reach any exit (e.g. bodies of provably infinite
+/// loops) post-dominate nothing but themselves.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    /// Immediate post-dominator per block (`None` for exit blocks whose
+    /// ipdom is the virtual exit, and for blocks that reach no exit).
+    ipdom: Vec<Option<BlockId>>,
+    /// True for blocks that reach some exit.
+    reaches_exit: Vec<bool>,
+}
+
+impl PostDominators {
+    /// Computes post-dominators for `f`.
+    pub fn compute(f: &Function) -> PostDominators {
+        let n = f.blocks.len();
+        let preds = f.predecessors(); // successors in the reverse CFG
+        let exits: Vec<BlockId> = f
+            .block_ids()
+            .filter(|b| f.successors(*b).is_empty())
+            .collect();
+        // reverse post-order of the reverse CFG, rooted at the virtual
+        // exit (index n)
+        let mut visited = vec![false; n + 1];
+        let mut post: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut stack: Vec<(usize, usize)> = vec![(n, 0)];
+        visited[n] = true;
+        while let Some(frame) = stack.last_mut() {
+            let b = frame.0;
+            let succs: &[BlockId] = if b == n { &exits } else { &preds[b] };
+            if frame.1 < succs.len() {
+                let s = succs[frame.1].index();
+                frame.1 += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_pos = vec![usize::MAX; n + 1];
+        for (i, b) in post.iter().enumerate() {
+            rpo_pos[*b] = i;
+        }
+        // iterate to fixpoint (successors in the reverse CFG are the
+        // original predecessors; the virtual exit's are the exits)
+        let mut idom: Vec<Option<usize>> = vec![None; n + 1];
+        idom[n] = Some(n);
+        let succs_in_cfg: Vec<Vec<usize>> = (0..n)
+            .map(|b| {
+                let mut s: Vec<usize> = f
+                    .successors(BlockId(b as u32))
+                    .into_iter()
+                    .map(BlockId::index)
+                    .collect();
+                if s.is_empty() {
+                    s.push(n); // returns feed the virtual exit
+                }
+                s
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in post.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &succs_in_cfg[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => {
+                            let mut a = p;
+                            let mut c = cur;
+                            while a != c {
+                                while rpo_pos[a] > rpo_pos[c] {
+                                    a = idom[a].expect("processed");
+                                }
+                                while rpo_pos[c] > rpo_pos[a] {
+                                    c = idom[c].expect("processed");
+                                }
+                            }
+                            a
+                        }
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let reaches_exit: Vec<bool> = (0..n).map(|b| idom[b].is_some()).collect();
+        PostDominators {
+            ipdom: (0..n)
+                .map(|b| match idom[b] {
+                    Some(p) if p < n => Some(BlockId(p as u32)),
+                    _ => None,
+                })
+                .collect(),
+            reaches_exit,
+        }
+    }
+
+    /// Immediate post-dominator of `b` (`None` when it is the virtual
+    /// exit or `b` reaches no exit).
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+
+    /// True if `a` post-dominates `b` (reflexive): every path from `b` to
+    /// any exit passes through `a`.
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        if !self.reaches_exit[b.index()] {
+            return false;
+        }
+        let mut cur = b;
+        while let Some(p) = self.ipdom[cur.index()] {
+            if p == a {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_ir::{Block, Expr, Terminator};
+
+    /// entry(0) -> 1 -> {2,3} -> 4 -> 1 (loop), 4 -> 5(exit)
+    fn looped() -> Function {
+        let mut f = Function::new("t");
+        let b1 = f.add_block(Block::default());
+        let b2 = f.add_block(Block::default());
+        let b3 = f.add_block(Block::default());
+        let b4 = f.add_block(Block::default());
+        let b5 = f.add_block(Block::default());
+        f.block_mut(f.entry).term = Terminator::Jump(b1);
+        f.block_mut(b1).term = Terminator::Branch {
+            cond: Expr::int(1),
+            then_bb: b2,
+            else_bb: b3,
+        };
+        f.block_mut(b2).term = Terminator::Jump(b4);
+        f.block_mut(b3).term = Terminator::Jump(b4);
+        f.block_mut(b4).term = Terminator::Branch {
+            cond: Expr::int(0),
+            then_bb: b1,
+            else_bb: b5,
+        };
+        f.block_mut(b5).term = Terminator::Return;
+        f
+    }
+
+    #[test]
+    fn idoms_of_diamond_in_loop() {
+        let f = looped();
+        let d = Dominators::compute(&f);
+        assert_eq!(d.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(d.idom(BlockId(3)), Some(BlockId(1)));
+        assert_eq!(d.idom(BlockId(4)), Some(BlockId(1)));
+        assert_eq!(d.idom(BlockId(5)), Some(BlockId(4)));
+        assert_eq!(d.idom(BlockId(0)), None);
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let f = looped();
+        let d = Dominators::compute(&f);
+        assert!(d.dominates(BlockId(0), BlockId(5)));
+        assert!(d.dominates(BlockId(1), BlockId(4)));
+        assert!(!d.dominates(BlockId(2), BlockId(4)));
+        assert!(d.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn frontier_of_branch_arms_is_join() {
+        let f = looped();
+        let d = Dominators::compute(&f);
+        let df = d.frontiers(&f);
+        assert_eq!(df[BlockId(2).index()], vec![BlockId(4)]);
+        assert_eq!(df[BlockId(3).index()], vec![BlockId(4)]);
+        // loop: b4's frontier contains the header b1
+        assert!(df[BlockId(4).index()].contains(&BlockId(1)));
+        // and b1's own frontier contains b1 (it is in the loop it heads)
+        assert!(df[BlockId(1).index()].contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn postdominators_of_diamond_in_loop() {
+        let f = looped();
+        let pd = PostDominators::compute(&f);
+        // join b4 post-dominates both arms and the header
+        assert!(pd.postdominates(BlockId(4), BlockId(2)));
+        assert!(pd.postdominates(BlockId(4), BlockId(3)));
+        assert!(pd.postdominates(BlockId(4), BlockId(1)));
+        assert!(pd.postdominates(BlockId(5), BlockId(0)));
+        // arms do not post-dominate the header
+        assert!(!pd.postdominates(BlockId(2), BlockId(1)));
+        assert_eq!(pd.ipdom(BlockId(2)), Some(BlockId(4)));
+        // exit block's ipdom is the virtual exit
+        assert_eq!(pd.ipdom(BlockId(5)), None);
+    }
+
+    #[test]
+    fn infinite_loop_blocks_postdominate_only_themselves() {
+        let mut f = Function::new("inf");
+        let b1 = f.add_block(Block::default());
+        f.block_mut(f.entry).term = Terminator::Jump(b1);
+        f.block_mut(b1).term = Terminator::Jump(b1);
+        let pd = PostDominators::compute(&f);
+        assert!(pd.postdominates(b1, b1));
+        assert!(!pd.postdominates(b1, f.entry));
+        assert!(!pd.postdominates(f.entry, b1));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = Function::new("u");
+        let dead = f.add_block(Block::default());
+        let d = Dominators::compute(&f);
+        assert_eq!(d.idom(dead), None);
+        assert!(!d.is_reachable(dead));
+        assert!(d.dominates(dead, dead));
+    }
+}

@@ -1,0 +1,556 @@
+//! SSA-based induction-variable classification, after Gerlek, Stoltz and
+//! Wolfe ("Beyond induction variables", cited as [7, 18] in the paper).
+//!
+//! Each natural loop is assigned a conceptual *basic loop variable* `h`
+//! taking values `0, 1, 2, …` per iteration (paper §2.3). Every SSA name
+//! is classified relative to a loop as:
+//!
+//! * **invariant** — its value does not change while the loop runs,
+//! * **linear** — value is `coeff·h + offset`,
+//! * **polynomial** — value is a degree-`d` polynomial in `h`
+//!   (e.g. a running sum of a linear sequence),
+//! * **unknown** — anything else (loads, irregular recurrences).
+//!
+//! Constant coefficients/offsets are propagated when derivable, which is
+//! what lets the paper's Figure 2 report `k ↦ 5·h + 8` for
+//! `k = k + m` with `m = 5`.
+
+use std::collections::HashMap;
+
+use nascent_ir::{BinOp, BlockId, Expr, Function, UnOp};
+
+use crate::loops::{LoopForest, LoopId};
+use crate::ssa::{Ssa, SsaDef, SsaExpr, SsaId};
+
+/// Classification of a value relative to a loop (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InductionClass {
+    /// Loop-invariant; `value` is its constant when known.
+    Invariant {
+        /// Compile-time constant value, when derivable.
+        value: Option<i64>,
+    },
+    /// `coeff·h + offset`; fields are `None` when symbolic.
+    Linear {
+        /// Constant per-iteration slope, when derivable.
+        coeff: Option<i64>,
+        /// Constant value at `h = 0`, when derivable.
+        offset: Option<i64>,
+    },
+    /// Polynomial of the given degree (≥ 2) in `h`.
+    Polynomial {
+        /// Polynomial degree.
+        degree: u32,
+    },
+    /// Not classified.
+    Unknown,
+}
+
+impl InductionClass {
+    /// True for the invariant class.
+    pub fn is_invariant(self) -> bool {
+        matches!(self, InductionClass::Invariant { .. })
+    }
+
+    /// True for the linear class.
+    pub fn is_linear(self) -> bool {
+        matches!(self, InductionClass::Linear { .. })
+    }
+}
+
+/// Memoizing classifier over one function's SSA overlay.
+#[derive(Debug)]
+pub struct InductionAnalysis<'a> {
+    ssa: &'a Ssa,
+    forest: &'a LoopForest,
+    memo: HashMap<(LoopId, SsaId), InductionClass>,
+    in_progress: Vec<(LoopId, SsaId)>,
+}
+
+impl<'a> InductionAnalysis<'a> {
+    /// Creates a classifier.
+    pub fn new(f: &'a Function, ssa: &'a Ssa, forest: &'a LoopForest) -> InductionAnalysis<'a> {
+        let _ = f; // reserved: source-level reporting may need the function
+        InductionAnalysis {
+            ssa,
+            forest,
+            memo: HashMap::new(),
+            in_progress: Vec::new(),
+        }
+    }
+
+    /// Classifies an SSA name relative to a loop.
+    pub fn classify(&mut self, l: LoopId, id: SsaId) -> InductionClass {
+        if let Some(c) = self.memo.get(&(l, id)) {
+            return *c;
+        }
+        if self.in_progress.contains(&(l, id)) {
+            // hit a cycle not rooted at a header phi: irregular recurrence
+            return InductionClass::Unknown;
+        }
+        self.in_progress.push((l, id));
+        let c = self.classify_uncached(l, id);
+        self.in_progress.pop();
+        self.memo.insert((l, id), c);
+        c
+    }
+
+    /// Classifies a source-level expression at a statement site.
+    pub fn classify_expr_at(
+        &mut self,
+        l: LoopId,
+        block: BlockId,
+        stmt: usize,
+        e: &Expr,
+    ) -> InductionClass {
+        let se = self.resolve_expr(block, stmt, e);
+        match se {
+            Some(se) => self.classify_expr(l, &se),
+            None => InductionClass::Unknown,
+        }
+    }
+
+    fn resolve_expr(&self, block: BlockId, stmt: usize, e: &Expr) -> Option<SsaExpr> {
+        Some(match e {
+            Expr::IntConst(v) => SsaExpr::Int(*v),
+            Expr::RealConst(_) => SsaExpr::Opaque,
+            Expr::Var(v) => SsaExpr::Use(self.ssa.name_before(block, stmt, *v)?),
+            Expr::Unary(op, inner) => {
+                SsaExpr::Un(*op, Box::new(self.resolve_expr(block, stmt, inner)?))
+            }
+            Expr::Binary(op, a, b) => SsaExpr::Bin(
+                *op,
+                Box::new(self.resolve_expr(block, stmt, a)?),
+                Box::new(self.resolve_expr(block, stmt, b)?),
+            ),
+        })
+    }
+
+    fn in_loop(&self, l: LoopId, b: BlockId) -> bool {
+        self.forest.loop_info(l).blocks.contains(&b)
+    }
+
+    fn classify_uncached(&mut self, l: LoopId, id: SsaId) -> InductionClass {
+        match self.ssa.def(id).clone() {
+            SsaDef::Entry => InductionClass::Invariant { value: None },
+            SsaDef::Opaque { block, .. } => {
+                if self.in_loop(l, block) {
+                    InductionClass::Unknown
+                } else {
+                    InductionClass::Invariant { value: None }
+                }
+            }
+            SsaDef::Assign { block, expr, .. } => {
+                let c = self.classify_expr(l, &expr);
+                if self.in_loop(l, block) {
+                    c
+                } else {
+                    // defined before the loop: invariant regardless of shape,
+                    // keeping a constant value when the rhs folds to one
+                    InductionClass::Invariant {
+                        value: match c {
+                            InductionClass::Invariant { value } => value,
+                            _ => None,
+                        },
+                    }
+                }
+            }
+            SsaDef::Phi { block, args } => {
+                if !self.in_loop(l, block) {
+                    return InductionClass::Invariant { value: None };
+                }
+                let info = self.forest.loop_info(l);
+                if block != info.header || args.len() != 2 {
+                    return InductionClass::Unknown;
+                }
+                let (outside, inside): (Vec<_>, Vec<_>) =
+                    args.iter().partition(|(p, _)| !info.blocks.contains(p));
+                let ([(_, init)], [(_, cyc)]) = (&outside[..], &inside[..]) else {
+                    return InductionClass::Unknown;
+                };
+                let init_class = self.classify_outside(*init);
+                // decompose the cycle as `phi + delta`
+                let Some(delta) = self.decompose_cycle(*cyc, id) else {
+                    return InductionClass::Unknown;
+                };
+                let delta_class = self.classify_expr(l, &delta);
+                match delta_class {
+                    InductionClass::Invariant { value: step } => InductionClass::Linear {
+                        coeff: step,
+                        offset: match init_class {
+                            InductionClass::Invariant { value } => value,
+                            _ => None,
+                        },
+                    },
+                    InductionClass::Linear { .. } => InductionClass::Polynomial { degree: 2 },
+                    InductionClass::Polynomial { degree } => {
+                        InductionClass::Polynomial { degree: degree + 1 }
+                    }
+                    InductionClass::Unknown => InductionClass::Unknown,
+                }
+            }
+        }
+    }
+
+    /// Classifies a name with respect to "before any loop": only constant
+    /// tracking matters (used for phi initial values).
+    fn classify_outside(&mut self, id: SsaId) -> InductionClass {
+        match self.ssa.def(id).clone() {
+            SsaDef::Entry => InductionClass::Invariant { value: None },
+            SsaDef::Assign { expr, .. } => {
+                let v = self.const_eval(&expr);
+                InductionClass::Invariant { value: v }
+            }
+            _ => InductionClass::Invariant { value: None },
+        }
+    }
+
+    fn const_eval(&mut self, e: &SsaExpr) -> Option<i64> {
+        match e {
+            SsaExpr::Int(v) => Some(*v),
+            SsaExpr::Opaque => None,
+            SsaExpr::Use(u) => match self.ssa.def(*u).clone() {
+                SsaDef::Assign { expr, .. } => self.const_eval(&expr),
+                _ => None,
+            },
+            SsaExpr::Un(UnOp::Neg, inner) => Some(self.const_eval(inner)?.wrapping_neg()),
+            SsaExpr::Un(UnOp::Not, inner) => Some(i64::from(self.const_eval(inner)? == 0)),
+            SsaExpr::Bin(op, a, b) => {
+                let a = self.const_eval(a)?;
+                let b = self.const_eval(b)?;
+                nascent_ir::expr::eval_int_binop(*op, a, b)
+            }
+        }
+    }
+
+    /// Rewrites the in-loop phi argument as `phi + delta`, returning
+    /// `delta`. Only sums/differences along the definition chain are
+    /// followed; anything else fails the decomposition.
+    fn decompose_cycle(&self, id: SsaId, phi: SsaId) -> Option<SsaExpr> {
+        if id == phi {
+            return Some(SsaExpr::Int(0));
+        }
+        let SsaDef::Assign { expr, .. } = self.ssa.def(id) else {
+            return None;
+        };
+        self.decompose_expr(expr, phi)
+    }
+
+    fn decompose_expr(&self, e: &SsaExpr, phi: SsaId) -> Option<SsaExpr> {
+        match e {
+            SsaExpr::Use(u) => self.decompose_cycle(*u, phi),
+            SsaExpr::Bin(BinOp::Add, a, b) => {
+                match (self.contains_phi(a, phi), self.contains_phi(b, phi)) {
+                    (true, false) => {
+                        let d = self.decompose_expr(a, phi)?;
+                        Some(SsaExpr::Bin(BinOp::Add, Box::new(d), b.clone()))
+                    }
+                    (false, true) => {
+                        let d = self.decompose_expr(b, phi)?;
+                        Some(SsaExpr::Bin(BinOp::Add, Box::new(d), a.clone()))
+                    }
+                    _ => None,
+                }
+            }
+            SsaExpr::Bin(BinOp::Sub, a, b) => {
+                if self.contains_phi(a, phi) && !self.contains_phi(b, phi) {
+                    let d = self.decompose_expr(a, phi)?;
+                    Some(SsaExpr::Bin(
+                        BinOp::Sub,
+                        Box::new(d),
+                        b.clone(),
+                    ))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the expression's value depends on the phi through the
+    /// def-chain (following plain assignments only).
+    fn contains_phi(&self, e: &SsaExpr, phi: SsaId) -> bool {
+        match e {
+            SsaExpr::Int(_) | SsaExpr::Opaque => false,
+            SsaExpr::Use(u) => {
+                if *u == phi {
+                    return true;
+                }
+                match self.ssa.def(*u) {
+                    SsaDef::Assign { expr, .. } => self.contains_phi(expr, phi),
+                    _ => false,
+                }
+            }
+            SsaExpr::Un(_, inner) => self.contains_phi(inner, phi),
+            SsaExpr::Bin(_, a, b) => self.contains_phi(a, phi) || self.contains_phi(b, phi),
+        }
+    }
+
+    fn classify_expr(&mut self, l: LoopId, e: &SsaExpr) -> InductionClass {
+        use InductionClass::{Invariant, Linear, Unknown};
+        match e {
+            SsaExpr::Int(v) => Invariant { value: Some(*v) },
+            SsaExpr::Opaque => Unknown,
+            SsaExpr::Use(u) => self.classify(l, *u),
+            SsaExpr::Un(UnOp::Neg, inner) => match self.classify_expr(l, inner) {
+                Invariant { value } => Invariant {
+                    value: value.map(i64::wrapping_neg),
+                },
+                Linear { coeff, offset } => Linear {
+                    coeff: coeff.map(i64::wrapping_neg),
+                    offset: offset.map(i64::wrapping_neg),
+                },
+                c => c,
+            },
+            SsaExpr::Un(UnOp::Not, inner) => match self.classify_expr(l, inner) {
+                Invariant { value } => Invariant {
+                    value: value.map(|v| i64::from(v == 0)),
+                },
+                _ => Unknown,
+            },
+            SsaExpr::Bin(op, a, b) => {
+                let ca = self.classify_expr(l, a);
+                let cb = self.classify_expr(l, b);
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        let neg = *op == BinOp::Sub;
+                        combine_additive(ca, cb, neg)
+                    }
+                    BinOp::Mul => combine_multiplicative(ca, cb),
+                    _ => match (ca, cb) {
+                        (Invariant { value: va }, Invariant { value: vb }) => Invariant {
+                            value: match (va, vb) {
+                                (Some(x), Some(y)) => {
+                                    nascent_ir::expr::eval_int_binop(*op, x, y)
+                                }
+                                _ => None,
+                            },
+                        },
+                        _ => Unknown,
+                    },
+                }
+            }
+        }
+    }
+}
+
+fn combine_additive(a: InductionClass, b: InductionClass, negate_b: bool) -> InductionClass {
+    use InductionClass::{Invariant, Linear, Polynomial, Unknown};
+    let nb = |v: Option<i64>| {
+        if negate_b {
+            v.map(i64::wrapping_neg)
+        } else {
+            v
+        }
+    };
+    match (a, b) {
+        (Invariant { value: x }, Invariant { value: y }) => Invariant {
+            value: x.zip(nb(y)).map(|(x, y)| x.wrapping_add(y)),
+        },
+        (Linear { coeff, offset }, Invariant { value }) => Linear {
+            coeff,
+            offset: offset.zip(nb(value)).map(|(o, v)| o.wrapping_add(v)),
+        },
+        (Invariant { value }, Linear { coeff, offset }) => Linear {
+            coeff: nb(coeff),
+            offset: value.zip(nb(offset)).map(|(v, o)| v.wrapping_add(o)),
+        },
+        (
+            Linear {
+                coeff: c1,
+                offset: o1,
+            },
+            Linear {
+                coeff: c2,
+                offset: o2,
+            },
+        ) => Linear {
+            coeff: c1.zip(nb(c2)).map(|(x, y)| x.wrapping_add(y)),
+            offset: o1.zip(nb(o2)).map(|(x, y)| x.wrapping_add(y)),
+        },
+        (Polynomial { degree }, Invariant { .. } | Linear { .. })
+        | (Invariant { .. } | Linear { .. }, Polynomial { degree }) => Polynomial { degree },
+        (Polynomial { degree: d1 }, Polynomial { degree: d2 }) => Polynomial {
+            degree: d1.max(d2),
+        },
+        _ => Unknown,
+    }
+}
+
+fn combine_multiplicative(a: InductionClass, b: InductionClass) -> InductionClass {
+    use InductionClass::{Invariant, Linear, Polynomial, Unknown};
+    match (a, b) {
+        (Invariant { value: x }, Invariant { value: y }) => Invariant {
+            value: x.zip(y).map(|(x, y)| x.wrapping_mul(y)),
+        },
+        (Linear { coeff, offset }, Invariant { value }) | (Invariant { value }, Linear { coeff, offset }) => {
+            Linear {
+                coeff: coeff.zip(value).map(|(c, v)| c.wrapping_mul(v)),
+                offset: offset.zip(value).map(|(o, v)| o.wrapping_mul(v)),
+            }
+        }
+        (Linear { .. }, Linear { .. }) => Polynomial { degree: 2 },
+        (Polynomial { degree }, Invariant { .. }) | (Invariant { .. }, Polynomial { degree }) => {
+            Polynomial { degree }
+        }
+        (Polynomial { degree: d1 }, Polynomial { degree: d2 }) => Polynomial { degree: d1 + d2 },
+        (Polynomial { degree }, Linear { .. }) | (Linear { .. }, Polynomial { degree }) => {
+            Polynomial { degree: degree + 1 }
+        }
+        _ => Unknown,
+    }
+}
+
+/// Classifies, for every innermost loop and every scalar variable, the
+/// variable's value at the loop header (the phi if one exists, otherwise
+/// the name flowing in). Returned as `(loop, var) -> class`; convenient
+/// for reports and the Figure 2 reproduction.
+pub fn classify_function(
+    f: &Function,
+    ssa: &Ssa,
+    forest: &LoopForest,
+) -> HashMap<(LoopId, nascent_ir::VarId), InductionClass> {
+    let mut out = HashMap::new();
+    let mut ia = InductionAnalysis::new(f, ssa, forest);
+    for (li, info) in forest.loops.iter().enumerate() {
+        let l = LoopId(li as u32);
+        let Some(body) = info.body_entry else { continue };
+        for v in 0..f.vars.len() as u32 {
+            let var = nascent_ir::VarId(v);
+            // name at entry of the body block, before its first statement
+            let name = ssa
+                .name_before(body, 0, var)
+                .or_else(|| ssa.end_names[info.header.index()].get(&var).copied());
+            if let Some(name) = name {
+                out.insert((l, var), ia.classify(l, name));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use nascent_frontend::compile;
+    use nascent_ir::VarId;
+
+    fn analyze(src: &str) -> (Function, Ssa, LoopForest) {
+        let p = compile(src).unwrap();
+        let f = p.main_function().clone();
+        let dom = Dominators::compute(&f);
+        let ssa = Ssa::compute(&f, &dom);
+        let forest = LoopForest::compute(&f);
+        (f, ssa, forest)
+    }
+
+    /// The paper's Figure 2: j, k, m with k = k + m, m = 5 invariant.
+    const FIGURE2: &str = "program fig2
+ integer a(1:100)
+ integer i, j, k, m, n, t
+ n = 8
+ j = 0
+ k = 3
+ m = 5
+ t = 0
+ do i = 0, n - 1
+  j = j + 1
+  k = k + m
+  t = t + j
+  a(k) = 2 * m + 1
+ enddo
+end
+";
+
+    #[test]
+    fn figure2_k_is_linear_5h_plus_8() {
+        let (f, ssa, forest) = analyze(FIGURE2);
+        let classes = classify_function(&f, &ssa, &forest);
+        let l = LoopId(0);
+        // vars: i=0 j=1 k=2 m=3 n=4 t=5
+        // k's header phi is 5h + 3; after the in-loop increment it is 5h+8.
+        assert_eq!(
+            classes[&(l, VarId(2))],
+            InductionClass::Linear {
+                coeff: Some(5),
+                offset: Some(3)
+            }
+        );
+        // classify k at the store site (after k = k + m): offset 8
+        let mut ia = InductionAnalysis::new(&f, &ssa, &forest);
+        let (b, i, idx_expr) = find_store(&f);
+        let c = ia.classify_expr_at(l, b, i, &idx_expr);
+        assert_eq!(
+            c,
+            InductionClass::Linear {
+                coeff: Some(5),
+                offset: Some(8)
+            }
+        );
+    }
+
+    #[test]
+    fn figure2_j_is_basic_linear() {
+        let (f, ssa, forest) = analyze(FIGURE2);
+        let classes = classify_function(&f, &ssa, &forest);
+        assert_eq!(
+            classes[&(LoopId(0), VarId(1))],
+            InductionClass::Linear {
+                coeff: Some(1),
+                offset: Some(0)
+            }
+        );
+    }
+
+    #[test]
+    fn figure2_t_is_polynomial() {
+        let (f, ssa, forest) = analyze(FIGURE2);
+        let classes = classify_function(&f, &ssa, &forest);
+        assert_eq!(
+            classes[&(LoopId(0), VarId(5))],
+            InductionClass::Polynomial { degree: 2 }
+        );
+    }
+
+    #[test]
+    fn figure2_store_value_is_invariant_11() {
+        let (f, ssa, forest) = analyze(FIGURE2);
+        let mut ia = InductionAnalysis::new(&f, &ssa, &forest);
+        // find the store and classify its value expression 2*m+1
+        for b in f.block_ids() {
+            for (i, s) in f.block(b).stmts.iter().enumerate() {
+                if let nascent_ir::Stmt::Store { value, .. } = s {
+                    let c = ia.classify_expr_at(LoopId(0), b, i, value);
+                    assert_eq!(c, InductionClass::Invariant { value: Some(11) });
+                    return;
+                }
+            }
+        }
+        panic!("no store found");
+    }
+
+    #[test]
+    fn loads_are_unknown() {
+        let (f, ssa, forest) = analyze(
+            "program p\n integer a(1:10)\n integer i, x\n do i = 1, 9\n x = a(i)\n a(x) = 0\n enddo\nend\n",
+        );
+        let classes = classify_function(&f, &ssa, &forest);
+        // x (VarId 1) is loaded from memory inside the loop
+        assert_eq!(classes[&(LoopId(0), VarId(1))], InductionClass::Unknown);
+        // i stays linear
+        assert!(classes[&(LoopId(0), VarId(0))].is_linear());
+    }
+
+    fn find_store(f: &Function) -> (nascent_ir::BlockId, usize, Expr) {
+        for b in f.block_ids() {
+            for (i, s) in f.block(b).stmts.iter().enumerate() {
+                if let nascent_ir::Stmt::Store { index, .. } = s {
+                    return (b, i, index[0].clone());
+                }
+            }
+        }
+        panic!("no store");
+    }
+}

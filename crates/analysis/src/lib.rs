@@ -1,0 +1,32 @@
+//! Program analyses for the `nascent-rc` range-check optimizer:
+//!
+//! * [`dom`] — dominator trees and dominance frontiers
+//!   (Cooper–Harvey–Kennedy),
+//! * [`loops`] — natural-loop forest, preheader insertion, loop-invariance
+//!   and basic-induction-variable descriptors (init / step / body-valid
+//!   bounds) used by the paper's preheader insertion schemes,
+//! * [`dataflow`] — a generic worklist solver for forward/backward
+//!   problems, instantiated by the optimizer's availability and
+//!   anticipatability systems,
+//! * [`reach`] — lightweight reaching-definition helpers (unique static
+//!   definitions, straight-line reaching definitions) used by induction
+//!   expression construction and the check implication graph,
+//! * [`ssa`] — SSA overlay construction (Cytron et al. phi placement plus
+//!   renaming) kept as a side structure over the unchanged IR,
+//! * [`induction`] — SSA-based induction-variable classification
+//!   (invariant / basic / linear / polynomial, Gerlek–Stoltz–Wolfe style),
+//!   reproducing the paper's Figure 2.
+
+pub mod dataflow;
+pub mod dom;
+pub mod induction;
+pub mod loops;
+pub mod reach;
+pub mod ssa;
+
+pub use dataflow::{solve, Direction, Problem, Solution};
+pub use dom::{Dominators, PostDominators};
+pub use induction::{classify_function, InductionAnalysis, InductionClass};
+pub use loops::{insert_preheaders, LoopForest, LoopId, LoopInfo, LoopIv};
+pub use reach::{unique_defs, DefSite, UniqueDefs};
+pub use ssa::Ssa;

@@ -1,0 +1,140 @@
+//! Lightweight reaching-definition helpers.
+//!
+//! Two cheap, conservative facilities used across the optimizer:
+//!
+//! * [`unique_defs`] — the table of variables with exactly one static
+//!   definition in a function. A unique definition that dominates a use
+//!   site is *the* reaching definition there; the check implication graph
+//!   uses this to discover global affine relations (`x = y + c`), and the
+//!   induction-expression rewriting uses it to express checks in terms of
+//!   defining expressions.
+//! * [`reaching_in_block`] — the textually last definition of a variable
+//!   before a statement index within one block.
+
+use std::collections::HashMap;
+
+use nascent_ir::{BlockId, Expr, Function, Stmt, VarId};
+
+/// Location and kind of a variable's single static definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefSite {
+    /// Block containing the definition.
+    pub block: BlockId,
+    /// Statement index within the block.
+    pub stmt: usize,
+    /// Right-hand side, when the definition is a plain assignment
+    /// (`None` for `Load` definitions).
+    pub rhs: Option<Expr>,
+}
+
+/// Map from variable to its unique definition site.
+pub type UniqueDefs = HashMap<VarId, DefSite>;
+
+/// Computes the variables of `f` that have exactly one static definition,
+/// with that definition's site and right-hand side.
+///
+/// Parameters are treated as defined at entry, so a parameter with any
+/// textual definition is excluded.
+pub fn unique_defs(f: &Function) -> UniqueDefs {
+    let mut count: HashMap<VarId, usize> = HashMap::new();
+    let mut site: UniqueDefs = HashMap::new();
+    for b in f.block_ids() {
+        for (i, s) in f.block(b).stmts.iter().enumerate() {
+            if let Some(v) = s.defined_var() {
+                *count.entry(v).or_insert(0) += 1;
+                let rhs = match s {
+                    Stmt::Assign { value, .. } => Some(value.clone()),
+                    _ => None,
+                };
+                site.insert(
+                    v,
+                    DefSite {
+                        block: b,
+                        stmt: i,
+                        rhs,
+                    },
+                );
+            }
+        }
+    }
+    for p in &f.params {
+        if let nascent_ir::Param::Scalar(v) = p {
+            count.entry(*v).and_modify(|c| *c += 1);
+        }
+    }
+    site.retain(|v, _| count.get(v) == Some(&1));
+    site
+}
+
+/// The last definition of `var` strictly before statement `before` in
+/// block `b`, if any.
+pub fn reaching_in_block(
+    f: &Function,
+    b: BlockId,
+    before: usize,
+    var: VarId,
+) -> Option<DefSite> {
+    let stmts = &f.block(b).stmts;
+    for i in (0..before.min(stmts.len())).rev() {
+        if stmts[i].defined_var() == Some(var) {
+            let rhs = match &stmts[i] {
+                Stmt::Assign { value, .. } => Some(value.clone()),
+                _ => None,
+            };
+            return Some(DefSite {
+                block: b,
+                stmt: i,
+                rhs,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+
+    #[test]
+    fn unique_defs_found_and_multi_defs_excluded() {
+        let p = compile(
+            "program p\n integer x, y, c\n c = 1\n x = c + 4\n if (c > 0) then\n y = 1\n else\n y = 2\n endif\n print x + y\nend\n",
+        )
+        .unwrap();
+        let f = p.main_function();
+        let defs = unique_defs(f);
+        // x (VarId 0) and c (VarId 2) are uniquely defined; y (VarId 1) not
+        assert!(defs.contains_key(&VarId(0)));
+        assert!(defs.contains_key(&VarId(2)));
+        assert!(!defs.contains_key(&VarId(1)));
+        let x = &defs[&VarId(0)];
+        assert!(x.rhs.is_some());
+    }
+
+    #[test]
+    fn parameters_with_defs_are_excluded() {
+        let p = compile(
+            "subroutine s(n)\n integer n, m\n m = n\nend\nprogram p\n call s(1)\nend\n",
+        )
+        .unwrap();
+        let s = &p.functions[0];
+        let defs = unique_defs(s);
+        // m has one def; n is a parameter with zero textual defs so it is
+        // not in the table at all
+        assert!(defs.contains_key(&VarId(1)));
+        assert!(!defs.contains_key(&VarId(0)));
+    }
+
+    #[test]
+    fn reaching_in_block_picks_last_def() {
+        let p = compile("program p\n integer x\n x = 1\n x = 2\n print x\nend\n").unwrap();
+        let f = p.main_function();
+        let b = f.entry;
+        let n = f.block(b).stmts.len();
+        let site = reaching_in_block(f, b, n, VarId(0)).unwrap();
+        assert_eq!(site.stmt, 1);
+        assert_eq!(site.rhs.as_ref().unwrap().as_int(), Some(2));
+        assert!(reaching_in_block(f, b, 0, VarId(0)).is_none());
+    }
+}

@@ -1,0 +1,390 @@
+//! SSA overlay construction (Cytron et al.).
+//!
+//! The IR itself is never rewritten; instead this module computes, as a
+//! side structure, an SSA name for every definition (including inserted
+//! phis) and records which SSA name each *use* sees. The induction
+//! analysis ([`crate::induction`]) consumes the resulting def graph, just
+//! as Nascent's Gerlek–Stoltz–Wolfe analysis consumes its demand-driven
+//! SSA form.
+
+use std::collections::HashMap;
+
+use nascent_ir::{BinOp, BlockId, Expr, Function, Stmt, UnOp, VarId};
+
+use crate::dom::Dominators;
+
+/// An SSA value name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SsaId(pub u32);
+
+impl SsaId {
+    /// The name's index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An expression with SSA names at the leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsaExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Non-integer or otherwise uninterpreted leaf.
+    Opaque,
+    /// Use of an SSA value.
+    Use(SsaId),
+    /// Unary operation.
+    Un(UnOp, Box<SsaExpr>),
+    /// Binary operation.
+    Bin(BinOp, Box<SsaExpr>, Box<SsaExpr>),
+}
+
+/// The defining occurrence of an SSA name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsaDef {
+    /// Value of the variable at function entry (parameter or zero).
+    Entry,
+    /// A phi at the entry of `block`, merging one value per predecessor.
+    Phi {
+        /// Block whose entry holds the phi.
+        block: BlockId,
+        /// `(predecessor, incoming name)` pairs.
+        args: Vec<(BlockId, SsaId)>,
+    },
+    /// A plain assignment (`var = expr`).
+    Assign {
+        /// Block of the assignment.
+        block: BlockId,
+        /// Statement index.
+        stmt: usize,
+        /// Right-hand side over SSA names.
+        expr: SsaExpr,
+    },
+    /// A definition whose value SSA cannot interpret (array load).
+    Opaque {
+        /// Block of the definition.
+        block: BlockId,
+        /// Statement index.
+        stmt: usize,
+    },
+}
+
+/// SSA overlay for one function.
+#[derive(Debug, Clone)]
+pub struct Ssa {
+    /// Definition of each SSA name, indexed by [`SsaId`].
+    pub defs: Vec<SsaDef>,
+    /// Source variable of each SSA name.
+    pub var_of: Vec<VarId>,
+    /// SSA name holding the value of each variable at the *end* of each
+    /// block: `end_names[block][var]`.
+    pub end_names: Vec<HashMap<VarId, SsaId>>,
+    /// SSA name seen by uses in each statement: for statement `(b, i)`,
+    /// the name of variable `v` immediately before the statement.
+    names_before: HashMap<(u32, usize, VarId), SsaId>,
+}
+
+impl Ssa {
+    /// Builds the SSA overlay (minimal SSA: phis at iterated dominance
+    /// frontiers of every variable's definition blocks).
+    pub fn compute(f: &Function, dom: &Dominators) -> Ssa {
+        Builder::new(f, dom).run()
+    }
+
+    /// The SSA name of `var` immediately before statement `stmt` of
+    /// block `b`.
+    pub fn name_before(&self, b: BlockId, stmt: usize, var: VarId) -> Option<SsaId> {
+        self.names_before.get(&(b.0, stmt, var)).copied()
+    }
+
+    /// The definition of a name.
+    pub fn def(&self, id: SsaId) -> &SsaDef {
+        &self.defs[id.index()]
+    }
+}
+
+struct Builder<'a> {
+    f: &'a Function,
+    dom: &'a Dominators,
+    preds: Vec<Vec<BlockId>>,
+    children: Vec<Vec<BlockId>>,
+    defs: Vec<SsaDef>,
+    var_of: Vec<VarId>,
+    /// phis placed at each block: var -> SsaId
+    phis: Vec<HashMap<VarId, SsaId>>,
+    stacks: HashMap<VarId, Vec<SsaId>>,
+    entry_names: HashMap<VarId, SsaId>,
+    end_names: Vec<HashMap<VarId, SsaId>>,
+    names_before: HashMap<(u32, usize, VarId), SsaId>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(f: &'a Function, dom: &'a Dominators) -> Builder<'a> {
+        let n = f.blocks.len();
+        let mut children = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            if let Some(p) = dom.idom(b) {
+                children[p.index()].push(b);
+            }
+        }
+        Builder {
+            f,
+            dom,
+            preds: f.predecessors(),
+            children,
+            defs: Vec::new(),
+            var_of: Vec::new(),
+            phis: vec![HashMap::new(); n],
+            stacks: HashMap::new(),
+            entry_names: HashMap::new(),
+            end_names: vec![HashMap::new(); n],
+            names_before: HashMap::new(),
+        }
+    }
+
+    fn fresh(&mut self, var: VarId, def: SsaDef) -> SsaId {
+        let id = SsaId(self.defs.len() as u32);
+        self.defs.push(def);
+        self.var_of.push(var);
+        id
+    }
+
+    fn run(mut self) -> Ssa {
+        // entry names for every variable
+        for v in 0..self.f.vars.len() as u32 {
+            let var = VarId(v);
+            let id = self.fresh(var, SsaDef::Entry);
+            self.entry_names.insert(var, id);
+        }
+        // phi placement: iterated dominance frontier of def blocks
+        let df = self.dom.frontiers(self.f);
+        let mut def_blocks: HashMap<VarId, Vec<BlockId>> = HashMap::new();
+        for b in self.f.block_ids() {
+            for s in &self.f.block(b).stmts {
+                if let Some(v) = s.defined_var() {
+                    def_blocks.entry(v).or_default().push(b);
+                }
+            }
+        }
+        for (var, blocks) in &def_blocks {
+            let mut work = blocks.clone();
+            let mut placed: Vec<BlockId> = Vec::new();
+            while let Some(b) = work.pop() {
+                for &y in &df[b.index()] {
+                    if !placed.contains(&y) {
+                        placed.push(y);
+                        work.push(y);
+                    }
+                }
+            }
+            for y in placed {
+                let id = self.fresh(
+                    *var,
+                    SsaDef::Phi {
+                        block: y,
+                        args: Vec::new(),
+                    },
+                );
+                self.phis[y.index()].insert(*var, id);
+            }
+        }
+        // renaming via dominator-tree walk
+        for v in 0..self.f.vars.len() as u32 {
+            let var = VarId(v);
+            let entry = self.entry_names[&var];
+            self.stacks.insert(var, vec![entry]);
+        }
+        self.rename(self.f.entry);
+        Ssa {
+            defs: self.defs,
+            var_of: self.var_of,
+            end_names: self.end_names,
+            names_before: self.names_before,
+        }
+    }
+
+    fn top(&self, var: VarId) -> SsaId {
+        *self.stacks[&var].last().expect("stack never empty")
+    }
+
+    fn rename(&mut self, b: BlockId) {
+        let mut pushed: Vec<VarId> = Vec::new();
+        // phis define first
+        let phi_list: Vec<(VarId, SsaId)> =
+            self.phis[b.index()].iter().map(|(v, i)| (*v, *i)).collect();
+        for (var, id) in &phi_list {
+            self.stacks.get_mut(var).unwrap().push(*id);
+            pushed.push(*var);
+        }
+        // statements
+        let stmts = self.f.block(b).stmts.clone();
+        for (i, s) in stmts.iter().enumerate() {
+            // record names before this statement for all used vars
+            let mut used: Vec<VarId> = Vec::new();
+            match s {
+                Stmt::Assign { value, .. } => used.extend(value.vars()),
+                Stmt::Load { index, .. } => {
+                    for e in index {
+                        used.extend(e.vars());
+                    }
+                }
+                Stmt::Store { index, value, .. } => {
+                    for e in index {
+                        used.extend(e.vars());
+                    }
+                    used.extend(value.vars());
+                }
+                Stmt::Check(c) => used.extend(c.vars()),
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        if let nascent_ir::Arg::Scalar(e) = a {
+                            used.extend(e.vars());
+                        }
+                    }
+                }
+                Stmt::Emit(e) => used.extend(e.vars()),
+                Stmt::Trap { .. } => {}
+            }
+            used.sort();
+            used.dedup();
+            for v in used {
+                let name = self.top(v);
+                self.names_before.insert((b.0, i, v), name);
+            }
+            if let Some(var) = s.defined_var() {
+                let def = match s {
+                    Stmt::Assign { value, .. } => SsaDef::Assign {
+                        block: b,
+                        stmt: i,
+                        expr: self.ssa_expr(value),
+                    },
+                    _ => SsaDef::Opaque { block: b, stmt: i },
+                };
+                let id = self.fresh(var, def);
+                self.stacks.get_mut(&var).unwrap().push(id);
+                pushed.push(var);
+            }
+        }
+        // snapshot end-of-block names
+        for v in 0..self.f.vars.len() as u32 {
+            let var = VarId(v);
+            let name = self.top(var);
+            self.end_names[b.index()].insert(var, name);
+        }
+        // fill phi args of successors
+        for s in self.f.successors(b) {
+            let phi_vars: Vec<(VarId, SsaId)> =
+                self.phis[s.index()].iter().map(|(v, i)| (*v, *i)).collect();
+            for (var, phi_id) in phi_vars {
+                let incoming = self.top(var);
+                if let SsaDef::Phi { args, .. } = &mut self.defs[phi_id.index()] {
+                    args.push((b, incoming));
+                }
+            }
+        }
+        // recurse over dominator-tree children
+        let children = self.children[b.index()].clone();
+        for c in children {
+            self.rename(c);
+        }
+        // pop
+        for var in pushed.into_iter().rev() {
+            self.stacks.get_mut(&var).unwrap().pop();
+        }
+        let _ = self.preds; // preds kept for symmetry with other passes
+    }
+
+    fn ssa_expr(&self, e: &Expr) -> SsaExpr {
+        match e {
+            Expr::IntConst(v) => SsaExpr::Int(*v),
+            Expr::RealConst(_) => SsaExpr::Opaque,
+            Expr::Var(v) => SsaExpr::Use(self.top(*v)),
+            Expr::Unary(op, inner) => SsaExpr::Un(*op, Box::new(self.ssa_expr(inner))),
+            Expr::Binary(op, l, r) => SsaExpr::Bin(
+                *op,
+                Box::new(self.ssa_expr(l)),
+                Box::new(self.ssa_expr(r)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+
+    fn build(src: &str) -> (Function, Ssa) {
+        let p = compile(src).unwrap();
+        let f = p.main_function().clone();
+        let dom = Dominators::compute(&f);
+        let ssa = Ssa::compute(&f, &dom);
+        (f, ssa)
+    }
+
+    #[test]
+    fn straight_line_has_no_phis() {
+        let (_, ssa) = build("program p\n integer x\n x = 1\n x = x + 1\nend\n");
+        assert!(ssa
+            .defs
+            .iter()
+            .all(|d| !matches!(d, SsaDef::Phi { .. })));
+        // x has entry + two assignment names
+        assert_eq!(ssa.defs.len(), 3);
+    }
+
+    #[test]
+    fn join_gets_phi_for_conditional_def() {
+        let (f, ssa) = build(
+            "program p\n integer x, c\n c = 1\n if (c > 0) then\n x = 1\n else\n x = 2\n endif\n print x\nend\n",
+        );
+        let phis: Vec<&SsaDef> = ssa
+            .defs
+            .iter()
+            .filter(|d| matches!(d, SsaDef::Phi { .. }))
+            .collect();
+        assert!(!phis.is_empty());
+        // the print's use of x resolves to a phi
+        let (b, i) = f
+            .block_ids()
+            .flat_map(|b| {
+                f.block(b)
+                    .stmts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, Stmt::Emit(_)))
+                    .map(move |(i, _)| (b, i))
+            })
+            .next()
+            .unwrap();
+        let name = ssa.name_before(b, i, VarId(0)).unwrap();
+        assert!(matches!(ssa.def(name), SsaDef::Phi { .. }));
+    }
+
+    #[test]
+    fn loop_header_phi_has_two_args() {
+        let (f, ssa) = build(
+            "program p\n integer i, s\n s = 0\n do i = 1, 3\n s = s + i\n enddo\n print s\nend\n",
+        );
+        // find a phi with two incoming edges whose block is a loop header
+        let ok = ssa.defs.iter().any(|d| {
+            if let SsaDef::Phi { block, args } = d {
+                args.len() == 2 && f.predecessors()[block.index()].len() == 2
+            } else {
+                false
+            }
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn load_definitions_are_opaque() {
+        let (_, ssa) = build(
+            "program p\n integer a(1:5)\n integer x\n a(1) = 4\n x = a(1)\n print x\nend\n",
+        );
+        assert!(ssa
+            .defs
+            .iter()
+            .any(|d| matches!(d, SsaDef::Opaque { .. })));
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benches of the supporting pipeline: frontend compilation,
+//! the analyses (dominators, loops, SSA), the check-universe build, and
+//! instrumented execution — the substrate costs behind the paper's
+//! "Nascent" compile-time column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nascent_analysis::dom::Dominators;
+use nascent_analysis::loops::LoopForest;
+use nascent_analysis::ssa::Ssa;
+use nascent_frontend::compile;
+use nascent_interp::{run, Limits};
+use nascent_rangecheck::{universe::Universe, ImplicationMode};
+use nascent_suite::{suite, Scale};
+
+fn bench_frontend(c: &mut Criterion) {
+    let benches = suite(Scale::Small);
+    c.bench_function("compile_suite", |b| {
+        b.iter(|| {
+            let mut checks = 0usize;
+            for bench in &benches {
+                checks += compile(&bench.source).expect("compiles").check_count();
+            }
+            checks
+        });
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let benches = suite(Scale::Small);
+    let funcs: Vec<_> = benches
+        .iter()
+        .flat_map(|b| compile(&b.source).expect("compiles").functions)
+        .collect();
+    c.bench_function("dominators_suite", |b| {
+        b.iter(|| {
+            funcs
+                .iter()
+                .map(|f| Dominators::compute(f).rpo().len())
+                .sum::<usize>()
+        });
+    });
+    c.bench_function("loop_forest_suite", |b| {
+        b.iter(|| {
+            funcs
+                .iter()
+                .map(|f| LoopForest::compute(f).loops.len())
+                .sum::<usize>()
+        });
+    });
+    c.bench_function("ssa_suite", |b| {
+        b.iter(|| {
+            funcs
+                .iter()
+                .map(|f| {
+                    let dom = Dominators::compute(f);
+                    Ssa::compute(f, &dom).defs.len()
+                })
+                .sum::<usize>()
+        });
+    });
+    c.bench_function("universe_suite", |b| {
+        b.iter(|| {
+            funcs
+                .iter()
+                .map(|f| Universe::build(f, ImplicationMode::All).len())
+                .sum::<usize>()
+        });
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let b0 = &suite(Scale::Small)[0];
+    let prog = compile(&b0.source).expect("compiles");
+    let limits = Limits::default();
+    c.bench_function("interpret_vortex_small", |b| {
+        b.iter(|| run(&prog, &limits).expect("runs").dynamic_instructions);
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_analyses, bench_interpreter);
+criterion_main!(benches);

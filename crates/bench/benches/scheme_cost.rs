@@ -1,0 +1,79 @@
+//! Criterion measurement of the range-check optimizer's compile-time cost
+//! per placement scheme — the analog of the paper's "Range" column in
+//! Tables 2 and 3 (relative ordering is the claim: NI fastest, preheader
+//! schemes moderate, PRE-based schemes slowest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nascent_frontend::compile;
+use nascent_rangecheck::{
+    optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme,
+};
+use nascent_suite::{suite, Scale};
+
+fn bench_schemes(c: &mut Criterion) {
+    let benches = suite(Scale::Small);
+    let compiled: Vec<_> = benches
+        .iter()
+        .map(|b| (b.name, compile(&b.source).expect("compiles")))
+        .collect();
+    let mut group = c.benchmark_group("optimize_suite");
+    for scheme in Scheme::EACH {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", scheme.name()),
+            &scheme,
+            |bch, &scheme| {
+                let opts = OptimizeOptions::scheme(scheme);
+                bch.iter(|| {
+                    let mut total = 0usize;
+                    for (_, prog) in &compiled {
+                        let mut p = prog.clone();
+                        let stats = optimize_program(&mut p, &opts);
+                        total += stats.static_after;
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kinds_and_modes(c: &mut Criterion) {
+    let benches = suite(Scale::Small);
+    let compiled: Vec<_> = benches
+        .iter()
+        .map(|b| compile(&b.source).expect("compiles"))
+        .collect();
+    let mut group = c.benchmark_group("optimize_variants");
+    let cases = [
+        ("LLS-PRX-all", OptimizeOptions::scheme(Scheme::Lls)),
+        (
+            "LLS-INX-all",
+            OptimizeOptions::scheme(Scheme::Lls).with_kind(CheckKind::Inx),
+        ),
+        (
+            "NI-PRX-none",
+            OptimizeOptions::scheme(Scheme::Ni).with_implications(ImplicationMode::None),
+        ),
+        (
+            "SE-PRX-none",
+            OptimizeOptions::scheme(Scheme::Se).with_implications(ImplicationMode::None),
+        ),
+    ];
+    for (label, opts) in cases {
+        group.bench_function(label, |bch| {
+            bch.iter(|| {
+                let mut total = 0usize;
+                for prog in &compiled {
+                    let mut p = prog.clone();
+                    total += optimize_program(&mut p, &opts).static_after;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_kinds_and_modes);
+criterion_main!(benches);

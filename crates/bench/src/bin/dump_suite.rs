@@ -1,0 +1,32 @@
+//! Writes the benchmark suite's MiniF sources to a directory so they can
+//! be inspected or fed to `nascentc`.
+//!
+//! Run with `cargo run -p nascent-bench --bin dump_suite -- <dir> [--small]`.
+
+use nascent_suite::{suite, Scale};
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(dir) = args.first() else {
+        eprintln!("usage: dump_suite <dir> [--small]");
+        return std::process::ExitCode::FAILURE;
+    };
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Paper
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("dump_suite: {dir}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    for b in suite(scale) {
+        let path = format!("{dir}/{}.mf", b.name);
+        if let Err(e) = std::fs::write(&path, &b.source) {
+            eprintln!("dump_suite: {path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    std::process::ExitCode::SUCCESS
+}

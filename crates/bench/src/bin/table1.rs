@@ -1,0 +1,53 @@
+//! Regenerates the paper's **Table 1**: program characteristics of the
+//! benchmark programs — lines, subroutines, loops, static/dynamic
+//! instruction counts, static/dynamic naive check counts, and the
+//! check/instruction ratios. Also prints the §4.1 overhead estimate
+//! (each check ≈ 2 instructions).
+//!
+//! Run with `cargo run --release -p nascent-bench --bin table1`.
+//! Pass `--small` for the test-scale suite.
+
+use nascent_bench::{format_table, measure_program};
+use nascent_suite::{suite, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Paper
+    };
+    let headers: Vec<String> = [
+        "program", "lines", "subr", "loops", "instr-st", "instr-dyn", "checks-st",
+        "checks-dyn", "st-%", "dyn-%",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let mut rows = Vec::new();
+    let mut min_ratio = f64::MAX;
+    let mut max_ratio: f64 = 0.0;
+    for b in suite(scale) {
+        let m = measure_program(&b);
+        min_ratio = min_ratio.min(m.dynamic_ratio());
+        max_ratio = max_ratio.max(m.dynamic_ratio());
+        rows.push(vec![
+            m.name.to_string(),
+            m.lines.to_string(),
+            m.subroutines.to_string(),
+            m.loops.to_string(),
+            m.static_instructions.to_string(),
+            m.dynamic_instructions.to_string(),
+            m.static_checks.to_string(),
+            m.dynamic_checks.to_string(),
+            format!("{:.0}", m.static_ratio()),
+            format!("{:.0}", m.dynamic_ratio()),
+        ]);
+    }
+    println!("Table 1: program characteristics of benchmark programs\n");
+    println!("{}", format_table(&headers, &rows));
+    println!(
+        "Estimated naive range-checking overhead (>= 2 instructions per check):\n  {:.0}% .. {:.0}%   (paper: 44% .. 132%)",
+        2.0 * min_ratio,
+        2.0 * max_ratio
+    );
+}

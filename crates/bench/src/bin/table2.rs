@@ -1,0 +1,58 @@
+//! Regenerates the paper's **Table 2**: percentage of dynamic checks
+//! eliminated by the seven placement schemes × {PRX, INX} check kinds,
+//! plus the time spent in the range-check optimizer ("Range") and the
+//! total compile time ("Nascent") over the whole suite.
+//!
+//! Run with `cargo run --release -p nascent-bench --bin table2`.
+//! Pass `--small` for the test-scale suite.
+
+use std::time::Duration;
+
+use nascent_bench::{evaluate, format_table, naive_run, table2_configs};
+use nascent_rangecheck::CheckKind;
+use nascent_suite::{suite, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Paper
+    };
+    let benches = suite(scale);
+    let naives: Vec<_> = benches.iter().map(naive_run).collect();
+
+    let mut headers: Vec<String> = vec!["".into(), "scheme".into()];
+    headers.extend(benches.iter().map(|b| b.name.to_string()));
+    headers.push("Range(ms)".into());
+    headers.push("Nascent(ms)".into());
+
+    let mut rows = Vec::new();
+    for kind in [CheckKind::Prx, CheckKind::Inx] {
+        let kind_label = match kind {
+            CheckKind::Prx => "PRX",
+            CheckKind::Inx => "INX",
+        };
+        for cfg in table2_configs(kind) {
+            let mut row = vec![kind_label.to_string(), cfg.label.to_string()];
+            let mut range = Duration::ZERO;
+            let mut total = Duration::ZERO;
+            for (b, naive) in benches.iter().zip(&naives) {
+                let r = evaluate(b, naive, &cfg.opts);
+                range += r.optimize_time;
+                total += r.total_time;
+                row.push(format!("{:.2}", r.percent_eliminated));
+            }
+            row.push(format!("{:.1}", range.as_secs_f64() * 1e3));
+            row.push(format!("{:.1}", total.as_secs_f64() * 1e3));
+            rows.push(row);
+        }
+    }
+    println!(
+        "Table 2: percentage of dynamic checks eliminated by optimizations\nand time required for compilation (all {} programs)\n",
+        benches.len()
+    );
+    println!("{}", format_table(&headers, &rows));
+    println!("NI = no insertion, CS = check strengthening, LNI = latest placement,");
+    println!("SE = safe-earliest, LI = preheader (invariant), LLS = preheader with");
+    println!("loop-limit substitution, ALL = LLS followed by SE.");
+}

@@ -1,0 +1,56 @@
+//! Regenerates the paper's **Table 3**: the implication ablation —
+//! `NI` vs `NI'` (no implications), `SE` vs `SE'` (no implications), and
+//! `LLS` vs `LLS'` (implications between different families only) — for
+//! both PRX and INX checks.
+//!
+//! Run with `cargo run --release -p nascent-bench --bin table3`.
+//! Pass `--small` for the test-scale suite.
+
+use std::time::Duration;
+
+use nascent_bench::{evaluate, format_table, naive_run, table3_configs};
+use nascent_rangecheck::CheckKind;
+use nascent_suite::{suite, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Paper
+    };
+    let benches = suite(scale);
+    let naives: Vec<_> = benches.iter().map(naive_run).collect();
+
+    let mut headers: Vec<String> = vec!["".into(), "scheme".into()];
+    headers.extend(benches.iter().map(|b| b.name.to_string()));
+    headers.push("Range(ms)".into());
+    headers.push("Nascent(ms)".into());
+
+    let mut rows = Vec::new();
+    for kind in [CheckKind::Prx, CheckKind::Inx] {
+        let kind_label = match kind {
+            CheckKind::Prx => "PRX",
+            CheckKind::Inx => "INX",
+        };
+        for cfg in table3_configs(kind) {
+            let mut row = vec![kind_label.to_string(), cfg.label.to_string()];
+            let mut range = Duration::ZERO;
+            let mut total = Duration::ZERO;
+            for (b, naive) in benches.iter().zip(&naives) {
+                let r = evaluate(b, naive, &cfg.opts);
+                range += r.optimize_time;
+                total += r.total_time;
+                row.push(format!("{:.2}", r.percent_eliminated));
+            }
+            row.push(format!("{:.1}", range.as_secs_f64() * 1e3));
+            row.push(format!("{:.1}", total.as_secs_f64() * 1e3));
+            rows.push(row);
+        }
+    }
+    println!(
+        "Table 3: percentage of checks eliminated with and without\nimplications between checks\n"
+    );
+    println!("{}", format_table(&headers, &rows));
+    println!("NI' / SE' = no implications between checks;");
+    println!("LLS' = no implications within a family (cross-family only).");
+}

@@ -1,0 +1,334 @@
+//! Experiment harness: everything needed to regenerate the paper's
+//! Tables 1–3 and Figures 1–6.
+//!
+//! Binaries (see `src/bin/`):
+//!
+//! * `table1` — program characteristics and naive check overhead,
+//! * `table2` — % checks eliminated per scheme × {PRX, INX} + compile time,
+//! * `table3` — the implication ablation (`NI'`, `SE'`, `LLS'`),
+//! * `figures` — the paper's worked examples, before/after.
+//!
+//! Every optimized run is validated against the naive run (same output,
+//! same trap verdict, never a later trap), so the tables double as an
+//! end-to-end soundness check.
+
+use std::time::{Duration, Instant};
+
+use nascent_analysis::loops::LoopForest;
+use nascent_frontend::{compile, compile_with, CheckInsertion};
+use nascent_interp::{run, Limits, RunResult};
+use nascent_ir::{Program, Stmt};
+use nascent_rangecheck::{optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme};
+use nascent_suite::Benchmark;
+
+/// Static and dynamic characteristics of one benchmark (Table 1 row).
+#[derive(Debug, Clone)]
+pub struct ProgramMetrics {
+    /// Program name.
+    pub name: &'static str,
+    /// Source lines (non-empty).
+    pub lines: usize,
+    /// Number of units (program + subroutines).
+    pub subroutines: usize,
+    /// Natural loops across all units.
+    pub loops: usize,
+    /// Static instruction count (cost-model units, without checks).
+    pub static_instructions: u64,
+    /// Dynamic instruction count (without checks).
+    pub dynamic_instructions: u64,
+    /// Static naive check count.
+    pub static_checks: u64,
+    /// Dynamic naive check count.
+    pub dynamic_checks: u64,
+}
+
+impl ProgramMetrics {
+    /// Static check/instruction ratio in percent.
+    pub fn static_ratio(&self) -> f64 {
+        100.0 * self.static_checks as f64 / self.static_instructions.max(1) as f64
+    }
+
+    /// Dynamic check/instruction ratio in percent.
+    pub fn dynamic_ratio(&self) -> f64 {
+        100.0 * self.dynamic_checks as f64 / self.dynamic_instructions.max(1) as f64
+    }
+}
+
+/// Interpreter limits used by the harness.
+pub fn harness_limits() -> Limits {
+    Limits {
+        max_steps: 2_000_000_000,
+        max_call_depth: 128,
+    }
+}
+
+/// Sums the static instruction cost of a program (cost-model units).
+pub fn static_instruction_count(p: &Program) -> u64 {
+    let mut total = 0;
+    for f in &p.functions {
+        for b in &f.blocks {
+            for s in &b.stmts {
+                total += s.cost();
+            }
+            total += b.term.cost();
+        }
+    }
+    total
+}
+
+/// Counts natural loops across all functions.
+pub fn loop_count(p: &Program) -> usize {
+    p.functions
+        .iter()
+        .map(|f| LoopForest::compute(f).loops.len())
+        .sum()
+}
+
+/// Measures one benchmark's Table 1 row.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to compile or run — the suite is
+/// expected to be trap-free.
+pub fn measure_program(b: &Benchmark) -> ProgramMetrics {
+    let unchecked =
+        compile_with(&b.source, CheckInsertion::None).expect("benchmark compiles");
+    let checked = compile(&b.source).expect("benchmark compiles");
+    let limits = harness_limits();
+    let ru = run(&unchecked, &limits).expect("benchmark runs");
+    let rc = run(&checked, &limits).expect("benchmark runs");
+    assert!(rc.trap.is_none(), "{} trapped", b.name);
+    ProgramMetrics {
+        name: b.name,
+        lines: b.source.lines().filter(|l| !l.trim().is_empty()).count(),
+        subroutines: checked.functions.len(),
+        loops: loop_count(&checked),
+        static_instructions: static_instruction_count(&unchecked),
+        dynamic_instructions: ru.dynamic_instructions,
+        static_checks: checked.check_count() as u64,
+        dynamic_checks: rc.dynamic_checks,
+    }
+}
+
+/// Result of optimizing and running one benchmark under one configuration.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// % of dynamic checks eliminated relative to the naive run.
+    pub percent_eliminated: f64,
+    /// Residual dynamic checks.
+    pub dynamic_checks: u64,
+    /// Dynamic guard operations of hoisted conditional checks.
+    pub dynamic_guard_ops: u64,
+    /// Time spent in the range-check optimizer.
+    pub optimize_time: Duration,
+    /// Total compile + optimize time.
+    pub total_time: Duration,
+}
+
+/// Optimizes a benchmark under `opts`, runs it, validates it against the
+/// naive run, and reports elimination percentage and timings.
+///
+/// # Panics
+///
+/// Panics if the optimized program misbehaves (different output, trap
+/// introduced, later trap, undetected violation) — optimizer bugs must
+/// not produce table rows.
+pub fn evaluate(b: &Benchmark, naive: &RunResult, opts: &OptimizeOptions) -> SchemeResult {
+    let limits = harness_limits();
+    let t0 = Instant::now();
+    let mut prog = compile(&b.source).expect("benchmark compiles");
+    let t1 = Instant::now();
+    optimize_program(&mut prog, opts);
+    let optimize_time = t1.elapsed();
+    let total_time = t0.elapsed();
+    let r = run(&prog, &limits).unwrap_or_else(|e| {
+        panic!("{} under {:?}: {e}", b.name, opts);
+    });
+    assert!(
+        r.trap.is_none(),
+        "{} under {:?}: optimizer introduced trap {:?}",
+        b.name,
+        opts,
+        r.trap
+    );
+    assert_eq!(
+        r.output, naive.output,
+        "{} under {:?}: output changed",
+        b.name, opts
+    );
+    let pct = 100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);
+    SchemeResult {
+        percent_eliminated: pct,
+        dynamic_checks: r.dynamic_checks,
+        dynamic_guard_ops: r.dynamic_guard_ops,
+        optimize_time,
+        total_time,
+    }
+}
+
+/// Runs the naive (unoptimized, checked) version of a benchmark.
+pub fn naive_run(b: &Benchmark) -> RunResult {
+    let prog = compile(&b.source).expect("benchmark compiles");
+    run(&prog, &harness_limits()).expect("benchmark runs")
+}
+
+/// One row of Table 2 / Table 3: a named configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Row label (`NI`, `SE'`, …).
+    pub label: &'static str,
+    /// Options for the optimizer.
+    pub opts: OptimizeOptions,
+}
+
+/// The seven Table 2 rows for a check kind.
+pub fn table2_configs(kind: CheckKind) -> Vec<Config> {
+    Scheme::EACH
+        .iter()
+        .map(|s| Config {
+            label: s.name(),
+            opts: OptimizeOptions::scheme(*s).with_kind(kind),
+        })
+        .collect()
+}
+
+/// The six Table 3 rows for a check kind: NI, NI', SE, SE', LLS, LLS'.
+pub fn table3_configs(kind: CheckKind) -> Vec<Config> {
+    vec![
+        Config {
+            label: "NI",
+            opts: OptimizeOptions::scheme(Scheme::Ni).with_kind(kind),
+        },
+        Config {
+            label: "NI'",
+            opts: OptimizeOptions::scheme(Scheme::Ni)
+                .with_kind(kind)
+                .with_implications(ImplicationMode::None),
+        },
+        Config {
+            label: "SE",
+            opts: OptimizeOptions::scheme(Scheme::Se).with_kind(kind),
+        },
+        Config {
+            label: "SE'",
+            opts: OptimizeOptions::scheme(Scheme::Se)
+                .with_kind(kind)
+                .with_implications(ImplicationMode::None),
+        },
+        Config {
+            label: "LLS",
+            opts: OptimizeOptions::scheme(Scheme::Lls).with_kind(kind),
+        },
+        Config {
+            label: "LLS'",
+            opts: OptimizeOptions::scheme(Scheme::Lls)
+                .with_kind(kind)
+                .with_implications(ImplicationMode::CrossFamilyOnly),
+        },
+    ]
+}
+
+/// Formats an aligned text table from headers and rows.
+pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(4)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Counts `Check` statements that are conditional (for reports).
+pub fn conditional_check_count(p: &Program) -> usize {
+    p.functions
+        .iter()
+        .flat_map(|f| &f.blocks)
+        .flat_map(|b| &b.stmts)
+        .filter(|s| matches!(s, Stmt::Check(c) if !c.is_unconditional()))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_suite::{suite, Scale};
+
+    #[test]
+    fn measure_and_evaluate_one_benchmark() {
+        let b = &suite(Scale::Small)[0];
+        let m = measure_program(b);
+        assert!(m.dynamic_checks > 0);
+        assert!(m.dynamic_ratio() > 5.0);
+        let naive = naive_run(b);
+        let r = evaluate(b, &naive, &OptimizeOptions::scheme(Scheme::Lls));
+        assert!(r.percent_eliminated > 50.0, "got {}", r.percent_eliminated);
+    }
+
+    #[test]
+    fn lls_beats_ni_on_the_small_suite() {
+        for b in suite(Scale::Small) {
+            let naive = naive_run(&b);
+            let ni = evaluate(&b, &naive, &OptimizeOptions::scheme(Scheme::Ni));
+            let lls = evaluate(&b, &naive, &OptimizeOptions::scheme(Scheme::Lls));
+            assert!(
+                lls.percent_eliminated >= ni.percent_eliminated - 1e-9,
+                "{}: LLS {} < NI {}",
+                b.name,
+                lls.percent_eliminated,
+                ni.percent_eliminated
+            );
+        }
+    }
+
+    #[test]
+    fn every_config_is_sound_on_the_small_suite() {
+        for b in suite(Scale::Small) {
+            let naive = naive_run(&b);
+            for kind in [CheckKind::Prx, CheckKind::Inx] {
+                for cfg in table2_configs(kind) {
+                    // evaluate() panics on any soundness violation
+                    let r = evaluate(&b, &naive, &cfg.opts);
+                    assert!(
+                        r.percent_eliminated >= -1e-9,
+                        "{} {} eliminated negative checks",
+                        b.name,
+                        cfg.label
+                    );
+                }
+                for cfg in table3_configs(kind) {
+                    evaluate(&b, &naive, &cfg.opts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+        assert!(t.contains("bb"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Compiles and runs generated C, parsing the instrumentation protocol.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use nascent_ir::Program;
+
+/// Result of an instrumented C run (mirrors
+/// `nascent_interp::RunResult`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CRunResult {
+    /// Dynamic non-check instructions.
+    pub dynamic_instructions: u64,
+    /// Dynamic checks performed.
+    pub dynamic_checks: u64,
+    /// Guard evaluations of conditional checks.
+    pub dynamic_guard_ops: u64,
+    /// Name of the function whose check trapped, if any.
+    pub trap_function: Option<String>,
+    /// Emitted values: integers as `("i", bits)` where bits is the value,
+    /// reals as `("r", f64::to_bits)`.
+    pub output: Vec<(char, u64)>,
+}
+
+/// Failure to build or run the generated C.
+#[derive(Debug)]
+pub enum CRunError {
+    /// I/O problem writing or invoking.
+    Io(std::io::Error),
+    /// The C compiler rejected the generated code.
+    CompileFailed(String),
+    /// The binary exited abnormally (division by zero is exit 3,
+    /// undetected out-of-bounds exit 4).
+    RunFailed { code: Option<i32>, stdout: String },
+    /// The protocol output could not be parsed.
+    BadProtocol(String),
+}
+
+impl std::fmt::Display for CRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CRunError::Io(e) => write!(f, "io: {e}"),
+            CRunError::CompileFailed(msg) => write!(f, "cc failed: {msg}"),
+            CRunError::RunFailed { code, .. } => write!(f, "binary failed with {code:?}"),
+            CRunError::BadProtocol(l) => write!(f, "bad protocol line: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for CRunError {}
+
+impl From<std::io::Error> for CRunError {
+    fn from(e: std::io::Error) -> Self {
+        CRunError::Io(e)
+    }
+}
+
+/// Emits, compiles (with `-O1 -fwrapv`) and runs `prog`, returning the
+/// parsed counters.
+///
+/// # Errors
+///
+/// See [`CRunError`]. Division by zero and undetected out-of-bounds
+/// accesses surface as [`CRunError::RunFailed`] with exit codes 3 and 4.
+pub fn run_via_c(prog: &Program, tag: &str) -> Result<CRunResult, CRunError> {
+    let dir = std::env::temp_dir().join(format!(
+        "nascent-cback-{}-{}",
+        std::process::id(),
+        tag
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let c_path: PathBuf = dir.join("prog.c");
+    let bin_path: PathBuf = dir.join("prog");
+    std::fs::write(&c_path, crate::emit_c(prog))?;
+    let cc = Command::new("cc")
+        .arg("-O1")
+        .arg("-fwrapv")
+        .arg("-o")
+        .arg(&bin_path)
+        .arg(&c_path)
+        .arg("-lm")
+        .output()?;
+    if !cc.status.success() {
+        return Err(CRunError::CompileFailed(
+            String::from_utf8_lossy(&cc.stderr).into_owned(),
+        ));
+    }
+    let run = Command::new(&bin_path).output()?;
+    let stdout = String::from_utf8_lossy(&run.stdout).into_owned();
+    if !run.status.success() {
+        return Err(CRunError::RunFailed {
+            code: run.status.code(),
+            stdout,
+        });
+    }
+    parse_protocol(&stdout)
+}
+
+fn parse_protocol(stdout: &str) -> Result<CRunResult, CRunError> {
+    let mut result = CRunResult {
+        dynamic_instructions: 0,
+        dynamic_checks: 0,
+        dynamic_guard_ops: 0,
+        trap_function: None,
+        output: Vec::new(),
+    };
+    let mut saw_counters = false;
+    for line in stdout.lines() {
+        let mut parts = line.splitn(3, ' ');
+        match parts.next() {
+            Some("O") => {
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| CRunError::BadProtocol(line.into()))?;
+                let val = parts
+                    .next()
+                    .ok_or_else(|| CRunError::BadProtocol(line.into()))?;
+                match kind {
+                    "i" => {
+                        let v: i64 = val
+                            .parse()
+                            .map_err(|_| CRunError::BadProtocol(line.into()))?;
+                        result.output.push(('i', v as u64));
+                    }
+                    "r" => {
+                        let v: f64 = val
+                            .parse()
+                            .map_err(|_| CRunError::BadProtocol(line.into()))?;
+                        result.output.push(('r', v.to_bits()));
+                    }
+                    _ => return Err(CRunError::BadProtocol(line.into())),
+                }
+            }
+            Some("T") => {
+                result.trap_function = Some(parts.next().unwrap_or("").to_string());
+            }
+            Some("C") => {
+                let rest = line[2..].trim();
+                for field in rest.split_whitespace() {
+                    let (key, val) = field
+                        .split_once('=')
+                        .ok_or_else(|| CRunError::BadProtocol(line.into()))?;
+                    let v: u64 = val
+                        .parse()
+                        .map_err(|_| CRunError::BadProtocol(line.into()))?;
+                    match key {
+                        "ins" => result.dynamic_instructions = v,
+                        "chk" => result.dynamic_checks = v,
+                        "grd" => result.dynamic_guard_ops = v,
+                        _ => return Err(CRunError::BadProtocol(line.into())),
+                    }
+                }
+                saw_counters = true;
+            }
+            Some("E") => {
+                return Err(CRunError::BadProtocol(format!("runtime error: {line}")));
+            }
+            _ => return Err(CRunError::BadProtocol(line.into())),
+        }
+    }
+    if !saw_counters {
+        return Err(CRunError::BadProtocol("missing counter line".into()));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_parses() {
+        let r = parse_protocol("O i 42\nO r 1.5\nT demo\nC ins=100 chk=7 grd=2\n").unwrap();
+        assert_eq!(r.dynamic_instructions, 100);
+        assert_eq!(r.dynamic_checks, 7);
+        assert_eq!(r.dynamic_guard_ops, 2);
+        assert_eq!(r.trap_function.as_deref(), Some("demo"));
+        assert_eq!(r.output.len(), 2);
+        assert_eq!(r.output[0], ('i', 42));
+        assert_eq!(r.output[1], ('r', 1.5f64.to_bits()));
+    }
+
+    #[test]
+    fn missing_counters_is_error() {
+        assert!(parse_protocol("O i 1\n").is_err());
+        assert!(parse_protocol("garbage\n").is_err());
+    }
+}

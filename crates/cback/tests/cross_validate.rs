@@ -1,0 +1,202 @@
+//! Cross-validation: the instrumented C back end and the interpreter are
+//! two independent implementations of the paper's measurement harness and
+//! must agree *exactly* — instruction counts, check counts, guard counts,
+//! output values (bit-for-bit for reals), and trap verdicts — on naive
+//! and optimized programs alike.
+
+use nascent_cback::{cc_available, run_via_c, CRunResult};
+use nascent_frontend::compile;
+use nascent_interp::{run, Limits, RunResult, Value};
+use nascent_rangecheck::{optimize_program, OptimizeOptions, Scheme};
+
+fn assert_agree(name: &str, interp: &RunResult, c: &CRunResult) {
+    assert_eq!(
+        interp.dynamic_instructions, c.dynamic_instructions,
+        "{name}: instruction counts differ"
+    );
+    assert_eq!(
+        interp.dynamic_checks, c.dynamic_checks,
+        "{name}: check counts differ"
+    );
+    assert_eq!(
+        interp.dynamic_guard_ops, c.dynamic_guard_ops,
+        "{name}: guard counts differ"
+    );
+    assert_eq!(
+        interp.trap.is_some(),
+        c.trap_function.is_some(),
+        "{name}: trap verdicts differ ({:?} vs {:?})",
+        interp.trap,
+        c.trap_function
+    );
+    if let (Some(t), Some(cf)) = (&interp.trap, &c.trap_function) {
+        assert_eq!(&t.function, cf, "{name}: trap functions differ");
+    }
+    assert_eq!(interp.output.len(), c.output.len(), "{name}: output lengths");
+    for (iv, (kind, bits)) in interp.output.iter().zip(&c.output) {
+        match (iv, kind) {
+            (Value::Int(v), 'i') => assert_eq!(*v as u64, *bits, "{name}: int output"),
+            (Value::Real(v), 'r') => {
+                assert_eq!(v.to_bits(), *bits, "{name}: real output bits")
+            }
+            other => panic!("{name}: output kind mismatch {other:?}"),
+        }
+    }
+}
+
+fn cross_validate(name: &str, src: &str, scheme: Option<Scheme>) {
+    if !cc_available() {
+        eprintln!("skipping {name}: no C compiler");
+        return;
+    }
+    let mut prog = compile(src).expect("compiles");
+    if let Some(s) = scheme {
+        optimize_program(&mut prog, &OptimizeOptions::scheme(s));
+    }
+    let interp = run(&prog, &Limits::default()).expect("interpreter runs");
+    let tag = format!("{name}-{:?}", scheme);
+    let c = run_via_c(&prog, &tag).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_agree(name, &interp, &c);
+}
+
+#[test]
+fn straightline_program() {
+    cross_validate(
+        "straight",
+        "program p\n integer a(1:10)\n integer i\n i = 3\n a(i) = i * 2\n print a(3)\nend\n",
+        None,
+    );
+}
+
+#[test]
+fn loops_and_reals() {
+    let src = "program p
+ integer n, i
+ real x(1:40), s
+ n = 40
+ s = 0.0
+ do i = 1, n
+  x(i) = 1.0 * i / 3.0
+ enddo
+ do i = 1, n
+  s = s + x(i) * x(i)
+ enddo
+ print s
+end
+";
+    cross_validate("loops-naive", src, None);
+    cross_validate("loops-lls", src, Some(Scheme::Lls));
+}
+
+#[test]
+fn trapping_program_agrees() {
+    let src = "program p
+ integer a(1:5)
+ integer i
+ print 7
+ do i = 1, 9
+  a(i) = i
+ enddo
+end
+";
+    cross_validate("trap-naive", src, None);
+    cross_validate("trap-lls", src, Some(Scheme::Lls));
+    cross_validate("trap-se", src, Some(Scheme::Se));
+}
+
+#[test]
+fn conditional_checks_and_guards() {
+    // zero-trip loop: the guard suppresses the hoisted check in both
+    // implementations and the guard op is counted identically
+    let src = "program p
+ integer a(1:10)
+ integer i, n, k
+ n = 0
+ k = 99
+ do i = 1, n
+  a(k) = i
+ enddo
+ print 1
+end
+";
+    cross_validate("guards", src, Some(Scheme::Lls));
+}
+
+#[test]
+fn subroutines_and_symbolic_bounds() {
+    let src = "subroutine daxpy(n, k, da, dx, dy)
+ integer n, k, i
+ real da
+ real dx(1:n), dy(1:n)
+ do i = k, n
+  dy(i) = dy(i) + da * dx(i)
+ enddo
+end
+program p
+ integer n, j
+ integer i
+ real a(1:30), b(1:30)
+ n = 30
+ do i = 1, n
+  a(i) = 1.0 * i
+  b(i) = 0.5 * i
+ enddo
+ do j = 1, 6
+  call daxpy(n, j, 0.25, a, b)
+ enddo
+ print b(1) + b(n)
+end
+";
+    cross_validate("daxpy-naive", src, None);
+    cross_validate("daxpy-all", src, Some(Scheme::All));
+}
+
+#[test]
+fn whole_test_suite_agrees_naive_and_optimized() {
+    if !cc_available() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    for b in nascent_suite::test_suite() {
+        for scheme in [None, Some(Scheme::Lls), Some(Scheme::Ni)] {
+            cross_validate(b.name, &b.source, scheme);
+        }
+    }
+}
+
+#[test]
+fn mod_and_intrinsics() {
+    let src = "program p
+ integer a(1:20)
+ integer i, j
+ do i = 1, 20
+  j = mod(i * 7, 20) + 1
+  a(j) = max(min(i, 15), 2)
+ enddo
+ print a(1) + a(20)
+end
+";
+    cross_validate("intrinsics", src, None);
+    cross_validate("intrinsics-all", src, Some(Scheme::All));
+}
+
+#[test]
+fn multi_dimensional_arrays() {
+    let src = "program p
+ integer g(0:7, 3:9)
+ integer i, j, s
+ do i = 0, 7
+  do j = 3, 9
+   g(i, j) = i * 10 + j
+  enddo
+ enddo
+ s = 0
+ do i = 0, 7
+  s = s + g(i, 3) + g(i, 9)
+ enddo
+ print s
+end
+";
+    cross_validate("2d", src, None);
+    cross_validate("2d-lls", src, Some(Scheme::Lls));
+}

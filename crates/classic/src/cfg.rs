@@ -1,0 +1,180 @@
+//! CFG cleanup: jump threading through empty blocks and removal of
+//! unreachable blocks (with block-id compaction).
+
+use std::collections::HashMap;
+
+use nascent_analysis::dom::Dominators;
+use nascent_ir::{BlockId, Function, Terminator};
+
+/// Result of one [`simplify`] round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CfgStats {
+    /// Edges retargeted through empty jump-only blocks.
+    pub jumps_threaded: usize,
+    /// Unreachable blocks removed.
+    pub blocks_removed: usize,
+}
+
+/// The ultimate target of a chain of empty jump-only blocks starting at
+/// `b` (following at most the number of blocks, so cycles terminate).
+fn chase(f: &Function, mut b: BlockId) -> BlockId {
+    let mut seen = 0;
+    loop {
+        let block = f.block(b);
+        if !block.stmts.is_empty() {
+            return b;
+        }
+        let Terminator::Jump(next) = block.term else {
+            return b;
+        };
+        if next == b || seen > f.blocks.len() {
+            return b;
+        }
+        b = next;
+        seen += 1;
+    }
+}
+
+/// Threads jumps and deletes unreachable blocks. Returns what changed.
+pub fn simplify(f: &mut Function) -> CfgStats {
+    let mut stats = CfgStats::default();
+    // 1. thread edges through empty jump-only blocks
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let term = f.block(b).term.clone();
+        match term {
+            Terminator::Jump(t) => {
+                let t2 = chase(f, t);
+                if t2 != t {
+                    f.block_mut(b).term = Terminator::Jump(t2);
+                    stats.jumps_threaded += 1;
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let (nt, ne) = (chase(f, then_bb), chase(f, else_bb));
+                if nt != then_bb || ne != else_bb {
+                    f.block_mut(b).term = Terminator::Branch {
+                        cond,
+                        then_bb: nt,
+                        else_bb: ne,
+                    };
+                    stats.jumps_threaded += 1;
+                }
+            }
+            Terminator::Return => {}
+        }
+    }
+    // 2. drop unreachable blocks, compacting ids
+    let dom = Dominators::compute(f);
+    let reachable: Vec<BlockId> = f.block_ids().filter(|b| dom.is_reachable(*b)).collect();
+    if reachable.len() < f.blocks.len() {
+        let remap: HashMap<BlockId, BlockId> = reachable
+            .iter()
+            .enumerate()
+            .map(|(new, old)| (*old, BlockId(new as u32)))
+            .collect();
+        stats.blocks_removed = f.blocks.len() - reachable.len();
+        let mut new_blocks = Vec::with_capacity(reachable.len());
+        for old in &reachable {
+            let mut block = f.block(*old).clone();
+            match &mut block.term {
+                Terminator::Jump(t) => *t = remap[t],
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
+                    *then_bb = remap[then_bb];
+                    *else_bb = remap[else_bb];
+                }
+                Terminator::Return => {}
+            }
+            new_blocks.push(block);
+        }
+        f.entry = remap[&f.entry];
+        f.blocks = new_blocks;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+    use nascent_interp::{run, Limits};
+    use nascent_ir::validate::assert_valid;
+
+    #[test]
+    fn threads_empty_chains_from_exit_lowering() {
+        // `exit` lowering leaves unreachable continuation blocks and
+        // empty jump chains
+        let src = "program p
+ integer i, s
+ s = 0
+ do i = 1, 10
+  if (i == 3) then
+   exit
+  endif
+  s = s + i
+ enddo
+ print s
+end
+";
+        let mut p = compile(src).unwrap();
+        let naive = run(&p, &Limits::default()).unwrap();
+        let before = p.functions[0].blocks.len();
+        let stats = simplify(&mut p.functions[0]);
+        assert_valid(&p);
+        assert!(stats.blocks_removed > 0 || stats.jumps_threaded > 0);
+        assert!(p.functions[0].blocks.len() <= before);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+    }
+
+    #[test]
+    fn removes_blocks_dead_after_branch_folding() {
+        let src = "program p
+ integer x
+ x = 1
+ if (x > 0) then
+  print 1
+ else
+  print 2
+ endif
+end
+";
+        let mut p = compile(src).unwrap();
+        crate::valueprop::propagate(&mut p.functions[0]);
+        let stats = simplify(&mut p.functions[0]);
+        assert!(stats.blocks_removed >= 1, "else arm is unreachable");
+        assert_valid(&p);
+        let r = run(&p, &Limits::default()).unwrap();
+        assert_eq!(r.output.len(), 1);
+    }
+
+    #[test]
+    fn self_loop_of_empty_block_terminates() {
+        use nascent_ir::{Block, Function};
+        let mut f = Function::new("inf");
+        let b1 = f.add_block(Block::default());
+        f.block_mut(f.entry).term = Terminator::Jump(b1);
+        f.block_mut(b1).term = Terminator::Jump(b1);
+        let _ = simplify(&mut f); // must not hang
+        assert!(!f.blocks.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_execution_on_suite_program() {
+        let b = &nascent_suite::test_suite()[0];
+        let mut p = compile(&b.source).unwrap();
+        let naive = run(&p, &Limits::default()).unwrap();
+        for func in &mut p.functions {
+            simplify(func);
+        }
+        assert_valid(&p);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert_eq!(opt.dynamic_checks, naive.dynamic_checks);
+    }
+}

@@ -1,0 +1,150 @@
+//! Dead-assignment elimination via backward liveness.
+//!
+//! Only plain scalar assignments are removed: loads stay (their bounds
+//! behavior is part of the checked program), and stores, checks, calls,
+//! traps and emits are always live.
+
+use std::collections::BTreeSet;
+
+use nascent_analysis::dataflow::{solve, Direction, Problem};
+use nascent_ir::{Arg, BlockId, Function, Stmt, Terminator, VarId};
+
+struct Liveness;
+
+impl Problem for Liveness {
+    type Fact = BTreeSet<VarId>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn top(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+        a.union(b).cloned().collect()
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, fact: &Self::Fact) -> Self::Fact {
+        let mut live = fact.clone();
+        if let Terminator::Branch { cond, .. } = &f.block(b).term {
+            live.extend(cond.vars());
+        }
+        for s in f.block(b).stmts.iter().rev() {
+            step(&mut live, s);
+        }
+        live
+    }
+}
+
+/// Applies one statement to a liveness fact, walking backward.
+fn step(live: &mut BTreeSet<VarId>, s: &Stmt) {
+    if let Some(v) = s.defined_var() {
+        live.remove(&v);
+    }
+    match s {
+        Stmt::Assign { value, .. } => live.extend(value.vars()),
+        Stmt::Load { index, .. } => {
+            for e in index {
+                live.extend(e.vars());
+            }
+        }
+        Stmt::Store { index, value, .. } => {
+            for e in index {
+                live.extend(e.vars());
+            }
+            live.extend(value.vars());
+        }
+        Stmt::Check(c) => live.extend(c.vars()),
+        Stmt::Call { args, .. } => {
+            for a in args {
+                if let Arg::Scalar(e) = a {
+                    live.extend(e.vars());
+                }
+            }
+        }
+        Stmt::Emit(e) => live.extend(e.vars()),
+        Stmt::Trap { .. } => {}
+    }
+}
+
+/// Removes assignments to variables that are dead at the assignment.
+/// Returns the number removed.
+pub fn remove_dead_assignments(f: &mut Function) -> usize {
+    let sol = solve(f, &Liveness);
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // walk backward, tracking liveness before each statement
+        let mut live = sol.exit[b.index()].clone();
+        if let Terminator::Branch { cond, .. } = &f.block(b).term {
+            live.extend(cond.vars());
+        }
+        let stmts = std::mem::take(&mut f.block_mut(b).stmts);
+        let mut kept_rev = Vec::with_capacity(stmts.len());
+        for s in stmts.into_iter().rev() {
+            let dead = matches!(
+                &s,
+                Stmt::Assign { var, .. } if !live.contains(var)
+            );
+            if dead {
+                removed += 1;
+                continue; // a dead assignment has no effect on liveness
+            }
+            step(&mut live, &s);
+            kept_rev.push(s);
+        }
+        kept_rev.reverse();
+        f.block_mut(b).stmts = kept_rev;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+    use nascent_interp::{run, Limits};
+
+    #[test]
+    fn removes_dead_and_keeps_live() {
+        let src = "program p\n integer x, y\n x = 1\n y = 2\n y = 3\n print y\nend\n";
+        let mut p = compile(src).unwrap();
+        let naive = run(&p, &Limits::default()).unwrap();
+        let removed = remove_dead_assignments(&mut p.functions[0]);
+        assert_eq!(removed, 2); // x = 1 and the overwritten y = 2
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        let src =
+            "program p\n integer i, s\n s = 0\n do i = 1, 5\n s = s + i\n enddo\n print s\nend\n";
+        let mut p = compile(src).unwrap();
+        let removed = remove_dead_assignments(&mut p.functions[0]);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn check_uses_keep_variables_live() {
+        let src = "program p\n integer a(1:10)\n integer k\n k = 5\n a(k) = 1\nend\n";
+        let mut p = compile(src).unwrap();
+        let removed = remove_dead_assignments(&mut p.functions[0]);
+        assert_eq!(removed, 0, "k feeds the checks and the store");
+    }
+
+    #[test]
+    fn dead_chain_unravels_over_iterations() {
+        // b depends on a; both dead: first pass removes b, second removes a
+        let src = "program p\n integer a, b\n a = 1\n b = a + 1\n print 9\nend\n";
+        let mut p = compile(src).unwrap();
+        let r1 = remove_dead_assignments(&mut p.functions[0]);
+        let r2 = remove_dead_assignments(&mut p.functions[0]);
+        assert_eq!(r1 + r2, 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Classical scalar optimizations over the nascent IR.
+//!
+//! The paper notes (§1) that "range checks are subject to traditional
+//! compiler optimizations such as constant propagation, common
+//! subexpression elimination, and invariant code motion" before its own
+//! technique applies. This crate provides that traditional substrate as
+//! an optional pre-pass:
+//!
+//! * [`valueprop`] — forward constant *and* copy propagation over a
+//!   `var → (constant | copy-of)` lattice, including rewriting of the
+//!   canonical range-check forms and folding of constant branch
+//!   conditions into jumps;
+//! * [`dce`] — liveness-based removal of dead scalar assignments;
+//! * [`cfg`](mod@cfg) — CFG cleanup: unreachable-block removal and jump threading
+//!   (which also undoes the empty blocks left by edge-splitting
+//!   placements).
+//!
+//! [`optimize_classic`] runs the passes to a fixpoint. All passes
+//! preserve the observable behavior tested by the safety oracle: output,
+//! trap verdict, and the trap's progress point.
+
+pub mod cfg;
+pub mod dce;
+pub mod valueprop;
+
+use nascent_ir::Function;
+
+/// Statistics from one [`optimize_classic`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassicStats {
+    /// Uses rewritten to constants or copied variables.
+    pub uses_rewritten: usize,
+    /// Branches folded to jumps.
+    pub branches_folded: usize,
+    /// Dead assignments removed.
+    pub dead_assignments: usize,
+    /// Unreachable blocks removed.
+    pub blocks_removed: usize,
+    /// Jumps threaded through empty blocks.
+    pub jumps_threaded: usize,
+    /// Pass-pipeline iterations until fixpoint.
+    pub iterations: usize,
+}
+
+/// Runs value propagation, DCE and CFG cleanup to a fixpoint.
+pub fn optimize_classic(f: &mut Function) -> ClassicStats {
+    let mut stats = ClassicStats::default();
+    for _ in 0..8 {
+        stats.iterations += 1;
+        let mut changed = false;
+        let vp = valueprop::propagate(f);
+        stats.uses_rewritten += vp.uses_rewritten;
+        stats.branches_folded += vp.branches_folded;
+        changed |= vp.uses_rewritten > 0 || vp.branches_folded > 0;
+        let dead = dce::remove_dead_assignments(f);
+        stats.dead_assignments += dead;
+        changed |= dead > 0;
+        let cfg = cfg::simplify(f);
+        stats.blocks_removed += cfg.blocks_removed;
+        stats.jumps_threaded += cfg.jumps_threaded;
+        changed |= cfg.blocks_removed > 0 || cfg.jumps_threaded > 0;
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+    use nascent_interp::{run, Limits};
+
+    #[test]
+    fn fixpoint_pipeline_preserves_behavior() {
+        let src = "program p
+ integer a(1:20)
+ integer i, k, n, dead
+ n = 10
+ k = n
+ dead = 99
+ do i = 1, k
+  a(i) = i + n - 10
+ enddo
+ if (n > 5) then
+  print a(k)
+ else
+  print 0
+ endif
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let mut p = compile(src).unwrap();
+        let stats = optimize_classic(&mut p.functions[0]);
+        nascent_ir::validate::assert_valid(&p);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert_eq!(opt.trap, naive.trap);
+        assert!(stats.uses_rewritten > 0);
+        assert!(stats.branches_folded >= 1, "n > 5 is constant");
+        assert!(stats.dead_assignments >= 1, "dead = 99 removed");
+    }
+
+    #[test]
+    fn classic_then_rangecheck_is_sound_and_stronger() {
+        use nascent_rangecheck::{optimize_function, OptimizeOptions, Scheme};
+        // k = n with n constant: after propagation the checks on a(k)
+        // fold at compile time, which plain LLS leaves to the guard
+        let src = "program p
+ integer a(1:20)
+ integer i, k, n
+ n = 10
+ k = n + 5
+ do i = 1, n
+  a(k) = a(k) + i
+ enddo
+ print a(15)
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let mut p = compile(src).unwrap();
+        optimize_classic(&mut p.functions[0]);
+        let stats = optimize_function(&mut p.functions[0], &OptimizeOptions::scheme(Scheme::Lls));
+        nascent_ir::validate::assert_valid(&p);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert!(
+            stats.folded_true >= 1 && stats.static_after == 0,
+            "constant subscripts fold: {stats:?}"
+        );
+        assert_eq!(opt.dynamic_checks, 0, "every check decided at compile time");
+    }
+}

@@ -1,0 +1,476 @@
+//! Forward constant and copy propagation.
+//!
+//! The data-flow fact maps each variable to what is known about its
+//! value at a program point: a compile-time constant or a copy of
+//! another (unmodified-since) variable. Uses are rewritten to the
+//! constant / the copied variable; range-check forms are rewritten
+//! through [`LinForm::substitute_var`]; branch conditions that become
+//! constants fold the branch into a jump.
+
+use std::collections::BTreeMap;
+
+use nascent_analysis::dataflow::{solve, Direction, Problem};
+use nascent_ir::{
+    Arg, BlockId, CheckExpr, Expr, Function, LinForm, R64, Stmt, Terminator, Ty, UnOp, VarId,
+};
+
+/// What is known about a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Known {
+    /// An integer constant.
+    Int(i64),
+    /// A real constant (bit pattern).
+    Real(R64),
+    /// A copy of another variable (whose own value is unknown).
+    Copy(VarId),
+}
+
+type Fact = Option<BTreeMap<VarId, Known>>; // None = unvisited (top)
+
+struct ValueProp;
+
+impl Problem for ValueProp {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Fact {
+        Some(BTreeMap::new())
+    }
+
+    fn top(&self) -> Fact {
+        None
+    }
+
+    fn meet(&self, a: &Fact, b: &Fact) -> Fact {
+        match (a, b) {
+            (None, x) | (x, None) => x.clone(),
+            (Some(a), Some(b)) => Some(
+                a.iter()
+                    .filter(|(k, v)| b.get(k) == Some(v))
+                    .map(|(k, v)| (*k, *v))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, fact: &Fact) -> Fact {
+        let mut map = fact.clone()?;
+        for s in &f.block(b).stmts {
+            step(f, &mut map, s);
+        }
+        Some(map)
+    }
+}
+
+/// Applies one statement to the known-value map.
+fn step(f: &Function, map: &mut BTreeMap<VarId, Known>, s: &Stmt) {
+    let Some(var) = s.defined_var() else { return };
+    // any copies OF this variable become stale
+    map.retain(|_, v| *v != Known::Copy(var));
+    let ty = f.vars[var.index()].ty;
+    match s {
+        Stmt::Assign { value, .. } => match eval(map, value).map(|k| coerce_known(ty, k)) {
+            Some(Some(k)) => {
+                map.insert(var, k);
+            }
+            _ => {
+                // plain copy x = y (y not itself resolvable); only track
+                // same-typed copies (assignment coerces otherwise)
+                match value {
+                    Expr::Var(y)
+                        if *y != var && f.vars[y.index()].ty == ty =>
+                    {
+                        let known = resolve(map, *y);
+                        map.insert(var, known.unwrap_or(Known::Copy(*y)));
+                    }
+                    _ => {
+                        map.remove(&var);
+                    }
+                }
+            }
+        },
+        _ => {
+            map.remove(&var);
+        }
+    }
+}
+
+/// Coerces a known value to the declared type of the variable holding it
+/// (mirroring the interpreter's assignment coercion). `None` when the
+/// coercion cannot be represented (`Copy` across types).
+fn coerce_known(ty: Ty, k: Known) -> Option<Known> {
+    Some(match (ty, k) {
+        (Ty::Int, Known::Real(r)) => {
+            let v = r.value();
+            if v.is_nan() {
+                Known::Int(0)
+            } else {
+                Known::Int(v as i64)
+            }
+        }
+        (Ty::Real, Known::Int(v)) => Known::Real(R64::new(v as f64)),
+        (_, Known::Copy(_)) => return None,
+        (_, k) => k,
+    })
+}
+
+/// Resolves a variable through the map (constants win over copies).
+fn resolve(map: &BTreeMap<VarId, Known>, v: VarId) -> Option<Known> {
+    match map.get(&v) {
+        Some(Known::Copy(w)) => match map.get(w) {
+            Some(k @ (Known::Int(_) | Known::Real(_))) => Some(*k),
+            _ => Some(Known::Copy(*w)),
+        },
+        Some(k) => Some(*k),
+        None => None,
+    }
+}
+
+/// Constant-evaluates an expression under the map, if fully known.
+fn eval(map: &BTreeMap<VarId, Known>, e: &Expr) -> Option<Known> {
+    match e {
+        Expr::IntConst(v) => Some(Known::Int(*v)),
+        Expr::RealConst(r) => Some(Known::Real(*r)),
+        Expr::Var(v) => match resolve(map, *v) {
+            Some(k @ (Known::Int(_) | Known::Real(_))) => Some(k),
+            _ => None,
+        },
+        Expr::Unary(op, inner) => {
+            let k = eval(map, inner)?;
+            Some(match (op, k) {
+                (UnOp::Neg, Known::Int(v)) => Known::Int(v.wrapping_neg()),
+                (UnOp::Neg, Known::Real(r)) => Known::Real(R64::new(-r.value())),
+                (UnOp::Not, Known::Int(v)) => Known::Int(i64::from(v == 0)),
+                (UnOp::Not, Known::Real(r)) => Known::Int(i64::from(r.value() == 0.0)),
+                (_, Known::Copy(_)) => return None,
+            })
+        }
+        Expr::Binary(op, l, r) => {
+            let a = eval(map, l)?;
+            let b = eval(map, r)?;
+            match (a, b) {
+                (Known::Int(x), Known::Int(y)) => {
+                    nascent_ir::expr::eval_int_binop(*op, x, y).map(Known::Int)
+                }
+                (x, y) => {
+                    // mixed/real arithmetic: promote to f64 like the interpreter
+                    let xv = match x {
+                        Known::Int(v) => v as f64,
+                        Known::Real(r) => r.value(),
+                        Known::Copy(_) => return None,
+                    };
+                    let yv = match y {
+                        Known::Int(v) => v as f64,
+                        Known::Real(r) => r.value(),
+                        Known::Copy(_) => return None,
+                    };
+                    real_binop(*op, xv, yv)
+                }
+            }
+        }
+    }
+}
+
+fn real_binop(op: nascent_ir::BinOp, a: f64, b: f64) -> Option<Known> {
+    use nascent_ir::BinOp;
+    Some(match op {
+        BinOp::Add => Known::Real(R64::new(a + b)),
+        BinOp::Sub => Known::Real(R64::new(a - b)),
+        BinOp::Mul => Known::Real(R64::new(a * b)),
+        BinOp::Div => Known::Real(R64::new(a / b)),
+        BinOp::Mod => Known::Real(R64::new(a % b)),
+        BinOp::Min => Known::Real(R64::new(a.min(b))),
+        BinOp::Max => Known::Real(R64::new(a.max(b))),
+        BinOp::Lt => Known::Int(i64::from(a < b)),
+        BinOp::Le => Known::Int(i64::from(a <= b)),
+        BinOp::Gt => Known::Int(i64::from(a > b)),
+        BinOp::Ge => Known::Int(i64::from(a >= b)),
+        BinOp::Eq => Known::Int(i64::from(a == b)),
+        BinOp::Ne => Known::Int(i64::from(a != b)),
+        BinOp::And => Known::Int(i64::from(a != 0.0 && b != 0.0)),
+        BinOp::Or => Known::Int(i64::from(a != 0.0 || b != 0.0)),
+    })
+}
+
+/// Result of one propagation pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PropStats {
+    /// Variable uses rewritten to constants or copy sources.
+    pub uses_rewritten: usize,
+    /// Constant branches folded to jumps.
+    pub branches_folded: usize,
+}
+
+/// Rewrites a use of `v` given the map; counts in `n`.
+fn rewrite_var(map: &BTreeMap<VarId, Known>, f: &Function, v: VarId, n: &mut usize) -> Option<Expr> {
+    match resolve(map, v)? {
+        Known::Int(c) => {
+            if f.vars[v.index()].ty == Ty::Int {
+                *n += 1;
+                Some(Expr::int(c))
+            } else {
+                *n += 1;
+                Some(Expr::real(c as f64))
+            }
+        }
+        Known::Real(r) => {
+            if f.vars[v.index()].ty == Ty::Real {
+                *n += 1;
+                Some(Expr::RealConst(r))
+            } else {
+                None
+            }
+        }
+        Known::Copy(w) => {
+            if f.vars[w.index()].ty == f.vars[v.index()].ty {
+                *n += 1;
+                Some(Expr::var(w))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn rewrite_expr(map: &BTreeMap<VarId, Known>, f: &Function, e: &Expr, n: &mut usize) -> Expr {
+    match e {
+        Expr::IntConst(_) | Expr::RealConst(_) => e.clone(),
+        Expr::Var(v) => rewrite_var(map, f, *v, n).unwrap_or_else(|| e.clone()),
+        Expr::Unary(op, inner) => {
+            Expr::Unary(*op, Box::new(rewrite_expr(map, f, inner, n)))
+        }
+        Expr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(rewrite_expr(map, f, l, n)),
+            Box::new(rewrite_expr(map, f, r, n)),
+        ),
+    }
+}
+
+/// Rewrites a canonical check expression under the known-value map.
+fn rewrite_check(map: &BTreeMap<VarId, Known>, ce: &CheckExpr, n: &mut usize) -> CheckExpr {
+    let mut form = ce.form().clone();
+    let mut changed = false;
+    for _ in 0..8 {
+        let mut stepped = false;
+        for v in form.vars() {
+            let repl = match resolve(map, v) {
+                Some(Known::Int(c)) => LinForm::constant(c),
+                Some(Known::Copy(w)) => LinForm::var(w),
+                _ => continue,
+            };
+            if repl.uses_var(v) {
+                continue;
+            }
+            if let Some(next) = form.substitute_var(v, &repl) {
+                form = next;
+                stepped = true;
+                changed = true;
+                break;
+            }
+        }
+        if !stepped {
+            break;
+        }
+    }
+    if changed {
+        *n += 1;
+        CheckExpr::new(form, ce.bound())
+    } else {
+        ce.clone()
+    }
+}
+
+/// Runs one round of constant/copy propagation over the function,
+/// rewriting uses and folding constant branches.
+pub fn propagate(f: &mut Function) -> PropStats {
+    let sol = solve(f, &ValueProp);
+    let mut stats = PropStats::default();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let Some(mut map) = sol.entry[b.index()].clone() else {
+            continue; // unreachable
+        };
+        let mut stmts = std::mem::take(&mut f.block_mut(b).stmts);
+        for s in &mut stmts {
+            // rewrite uses first, then apply the statement's effect
+            let n = &mut stats.uses_rewritten;
+            match s {
+                Stmt::Assign { value, .. } => *value = rewrite_expr(&map, f, value, n),
+                Stmt::Load { index, .. } => {
+                    for e in index.iter_mut() {
+                        *e = rewrite_expr(&map, f, e, n);
+                    }
+                }
+                Stmt::Store { index, value, .. } => {
+                    for e in index.iter_mut() {
+                        *e = rewrite_expr(&map, f, e, n);
+                    }
+                    *value = rewrite_expr(&map, f, value, n);
+                }
+                Stmt::Check(c) => {
+                    for g in &mut c.guards {
+                        *g = rewrite_check(&map, g, n);
+                    }
+                    c.cond = rewrite_check(&map, &c.cond, n);
+                }
+                Stmt::Call { args, .. } => {
+                    for a in args.iter_mut() {
+                        if let Arg::Scalar(e) = a {
+                            *e = rewrite_expr(&map, f, e, n);
+                        }
+                    }
+                }
+                Stmt::Emit(e) => *e = rewrite_expr(&map, f, e, n),
+                Stmt::Trap { .. } => {}
+            }
+            step(f, &mut map, s);
+        }
+        f.block_mut(b).stmts = stmts;
+        // branch folding with the end-of-block fact
+        let term = f.block(b).term.clone();
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = term
+        {
+            let mut n = 0usize;
+            let folded = rewrite_expr(&map, f, &cond, &mut n).fold();
+            match folded.as_int() {
+                Some(0) => {
+                    f.block_mut(b).term = Terminator::Jump(else_bb);
+                    stats.branches_folded += 1;
+                }
+                Some(_) => {
+                    f.block_mut(b).term = Terminator::Jump(then_bb);
+                    stats.branches_folded += 1;
+                }
+                None => {
+                    if n > 0 {
+                        stats.uses_rewritten += n;
+                        f.block_mut(b).term = Terminator::Branch {
+                            cond: folded,
+                            then_bb,
+                            else_bb,
+                        };
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+    use nascent_ir::pretty::checks_to_strings;
+
+    #[test]
+    fn constants_flow_through_copies() {
+        let mut p = compile(
+            "program p\n integer x, y, z\n x = 4\n y = x\n z = y + 1\n print z\nend\n",
+        )
+        .unwrap();
+        let stats = propagate(&mut p.functions[0]);
+        assert!(stats.uses_rewritten >= 2);
+        // the emit is now a constant
+        let f = &p.functions[0];
+        let emit = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match s {
+                Stmt::Emit(e) => Some(e.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(emit.fold().as_int(), Some(5));
+    }
+
+    #[test]
+    fn branch_on_constant_folds_to_jump() {
+        let mut p = compile(
+            "program p\n integer x\n x = 1\n if (x > 0) then\n print 1\n else\n print 2\n endif\nend\n",
+        )
+        .unwrap();
+        let stats = propagate(&mut p.functions[0]);
+        assert_eq!(stats.branches_folded, 1);
+        let branches = p.functions[0]
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert_eq!(branches, 0);
+    }
+
+    #[test]
+    fn check_forms_are_rewritten() {
+        let mut p = compile(
+            "program p\n integer a(1:10)\n integer k, n\n n = 4\n k = n\n a(k) = 0\nend\n",
+        )
+        .unwrap();
+        propagate(&mut p.functions[0]);
+        let checks = checks_to_strings(&p.functions[0]);
+        // checks are now constant inequalities (forms without variables)
+        assert!(checks.iter().all(|(_, s)| !s.contains('v')), "{checks:?}");
+    }
+
+    #[test]
+    fn merge_kills_disagreeing_constants() {
+        let mut p = compile(
+            "program p
+ integer x, c
+ c = 0
+ if (c == 0) then
+  x = 1
+ else
+  x = 2
+ endif
+ print x
+end
+",
+        )
+        .unwrap();
+        // branch folds (c constant), so x = 1 wins on the surviving path;
+        // run twice to let the fold enable more propagation
+        propagate(&mut p.functions[0]);
+        propagate(&mut p.functions[0]);
+        let f = &p.functions[0];
+        let emit = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match s {
+                Stmt::Emit(e) => Some(e.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(emit.as_int(), Some(1));
+    }
+
+    #[test]
+    fn loads_invalidate_knowledge() {
+        let mut p = compile(
+            "program p\n integer a(1:5)\n integer x\n x = 3\n a(1) = 7\n x = a(1)\n print x\nend\n",
+        )
+        .unwrap();
+        propagate(&mut p.functions[0]);
+        let f = &p.functions[0];
+        let emit = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match s {
+                Stmt::Emit(e) => Some(e.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // x is loaded from memory: not a constant
+        assert!(emit.as_int().is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Step 4: availability-based elimination of redundant checks.
+//!
+//! A check `C` is redundant when checks as strong as `C` are available at
+//! the point where `C` occurs (paper §3, step 4). Conditional checks can
+//! be eliminated too (dropping a check that is implied is safe whether or
+//! not its guard would have fired), but they never make other checks
+//! redundant.
+
+use nascent_analysis::dataflow::solve;
+use nascent_ir::{Function, Stmt};
+
+use crate::dataflow::{avail_step, Avail};
+use crate::universe::Universe;
+use crate::{ImplicationMode, OptimizeStats};
+
+/// Removes every check that is implied by available checks.
+/// Returns the number of checks removed.
+pub fn eliminate(f: &mut Function, mode: ImplicationMode, stats: &mut OptimizeStats) -> usize {
+    let u = Universe::build(f, mode);
+    stats.families += u.cig.family_count();
+    stats.cig_edges += u.cig.edge_count();
+    if u.is_empty() {
+        return 0;
+    }
+    let sol = solve(f, &Avail { u: &u });
+    stats.dataflow_iterations += sol.iterations;
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let mut fact = sol.entry[b.index()].clone();
+        let block = f.block_mut(b);
+        let mut kept = Vec::with_capacity(block.stmts.len());
+        for s in std::mem::take(&mut block.stmts) {
+            if let Stmt::Check(c) = &s {
+                let id = u.id(&c.cond).expect("check in universe");
+                if fact.intersects(&u.implied_by[id]) {
+                    removed += 1;
+                    continue; // redundant: drop, do not apply its gen
+                }
+            }
+            avail_step(&u, &mut fact, &s);
+            kept.push(s);
+        }
+        block.stmts = kept;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+    use nascent_ir::validate::assert_valid;
+
+    fn run_elim(src: &str, mode: ImplicationMode) -> (nascent_ir::Program, usize) {
+        let mut p = compile(src).unwrap();
+        let mut stats = OptimizeStats::default();
+        let mut removed = 0;
+        let n = p.functions.len();
+        for i in 0..n {
+            removed += eliminate(&mut p.functions[i], mode, &mut stats);
+        }
+        assert_valid(&p);
+        (p, removed)
+    }
+
+    #[test]
+    fn figure1_b_elimination() {
+        // Figure 1(a) -> (b): C4 (2n <= 11) is implied by C2 (2n <= 10)
+        let (p, removed) = run_elim(
+            "program fig1\n integer a(5:10)\n integer n\n n = 4\n a(2*n) = 0\n a(2*n - 1) = 1\nend\n",
+            ImplicationMode::All,
+        );
+        assert_eq!(removed, 1);
+        assert_eq!(p.check_count(), 3);
+    }
+
+    #[test]
+    fn no_implications_blocks_figure1() {
+        let (_, removed) = run_elim(
+            "program fig1\n integer a(5:10)\n integer n\n n = 4\n a(2*n) = 0\n a(2*n - 1) = 1\nend\n",
+            ImplicationMode::None,
+        );
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn identical_checks_eliminate_under_any_mode() {
+        let src = "program p\n integer a(1:10)\n integer i\n i = 2\n a(i) = 0\n a(i) = 1\nend\n";
+        for mode in [
+            ImplicationMode::All,
+            ImplicationMode::CrossFamilyOnly,
+            ImplicationMode::None,
+        ] {
+            let (_, removed) = run_elim(src, mode);
+            assert_eq!(removed, 2, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn redefinition_blocks_elimination() {
+        let (_, removed) = run_elim(
+            "program p\n integer a(1:10)\n integer i\n i = 2\n a(i) = 0\n i = 3\n a(i) = 1\nend\n",
+            ImplicationMode::All,
+        );
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn merge_requires_both_paths() {
+        // check only on one branch: not available at the join
+        let (_, removed) = run_elim(
+            "program p
+ integer a(1:10)
+ integer i, c
+ i = 2
+ c = 0
+ if (c > 0) then
+  a(i) = 0
+ else
+  c = 1
+ endif
+ a(i) = 1
+end
+",
+            ImplicationMode::All,
+        );
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn merge_with_both_paths_checked_eliminates() {
+        let (p, removed) = run_elim(
+            "program p
+ integer a(1:10)
+ integer i, c
+ i = 2
+ c = 0
+ if (c > 0) then
+  a(i) = 0
+ else
+  a(i) = 5
+ endif
+ a(i) = 1
+end
+",
+            ImplicationMode::All,
+        );
+        assert_eq!(removed, 2); // the pair after the join
+        assert_eq!(p.check_count(), 4);
+    }
+
+    #[test]
+    fn stronger_check_covers_weaker_across_subscripts() {
+        // a(i+1) checked first: i <= 9 and -i <= 0; then a(i): i <= 10 and
+        // -i <= -1. Upper of a(i) is implied; lower is NOT (-i <= -1 is
+        // stronger than -i <= 0).
+        let (_, removed) = run_elim(
+            "program p\n integer a(1:10)\n integer i\n i = 3\n a(i+1) = 0\n a(i) = 1\nend\n",
+            ImplicationMode::All,
+        );
+        assert_eq!(removed, 1);
+    }
+
+    #[test]
+    fn loop_invariant_check_redundant_on_second_iteration_is_kept() {
+        // availability merge at the header kills the check (not available
+        // on the entry path before first execution): NI alone cannot hoist
+        let (p, removed) = run_elim(
+            "program p\n integer a(1:10)\n integer k, i\n k = 5\n do i = 1, 10\n a(k) = i\n enddo\nend\n",
+            ImplicationMode::All,
+        );
+        // back-edge makes the check available at the header from the latch
+        // side, but not from the preheader side: intersection empty
+        assert_eq!(removed, 0);
+        assert_eq!(p.check_count(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Step 5: compile-time checks.
+//!
+//! Checks whose range expression has no symbolic terms are decided now:
+//! true checks disappear, false checks become `TRAP` statements (and are
+//! reported to the programmer by the optimizer's statistics). Constant
+//! guards of conditional checks fold the same way.
+
+use nascent_ir::{Function, Stmt};
+
+/// Folds constant checks; returns `(folded_true, folded_false)`.
+pub fn fold_constant_checks(f: &mut Function) -> (usize, usize) {
+    let mut folded_true = 0;
+    let mut folded_false = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let block = f.block_mut(b);
+        let mut kept = Vec::with_capacity(block.stmts.len());
+        'stmts: for s in std::mem::take(&mut block.stmts) {
+            let Stmt::Check(mut c) = s else {
+                kept.push(s);
+                continue;
+            };
+            // fold constant guards
+            let mut guards = Vec::with_capacity(c.guards.len());
+            for g in c.guards {
+                match g.constant_verdict() {
+                    Some(true) => {} // guard always holds: drop it
+                    Some(false) => {
+                        // check never performed: drop the statement
+                        folded_true += 1;
+                        continue 'stmts;
+                    }
+                    None => guards.push(g),
+                }
+            }
+            c.guards = guards;
+            match c.cond.constant_verdict() {
+                Some(true) => {
+                    folded_true += 1;
+                }
+                Some(false) if c.guards.is_empty() => {
+                    folded_false += 1;
+                    kept.push(Stmt::Trap {
+                        message: format!("range check proven false: {}", c.cond),
+                    });
+                }
+                _ => kept.push(Stmt::Check(c)),
+            }
+        }
+        block.stmts = kept;
+    }
+    (folded_true, folded_false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+
+    #[test]
+    fn constant_true_checks_vanish() {
+        let mut p = compile(
+            "program p\n integer a(1:10)\n a(5) = 0\nend\n",
+        )
+        .unwrap();
+        let (t, fa) = fold_constant_checks(&mut p.functions[0]);
+        assert_eq!((t, fa), (2, 0));
+        assert_eq!(p.check_count(), 0);
+    }
+
+    #[test]
+    fn constant_false_check_becomes_trap() {
+        let mut p = compile(
+            "program p\n integer a(1:10)\n a(15) = 0\nend\n",
+        )
+        .unwrap();
+        let (t, fa) = fold_constant_checks(&mut p.functions[0]);
+        assert_eq!((t, fa), (1, 1)); // lower is true, upper is false
+        let has_trap = p.functions[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .any(|s| matches!(s, Stmt::Trap { .. }));
+        assert!(has_trap);
+    }
+
+    #[test]
+    fn symbolic_checks_survive() {
+        let mut p = compile(
+            "program p\n integer a(1:10)\n integer i\n i = 1\n a(i) = 0\nend\n",
+        )
+        .unwrap();
+        let (t, fa) = fold_constant_checks(&mut p.functions[0]);
+        assert_eq!((t, fa), (0, 0));
+        assert_eq!(p.check_count(), 2);
+    }
+
+    #[test]
+    fn trap_execution_matches_naive_program() {
+        use nascent_interp::{run, Limits};
+        let src = "program p\n integer a(1:10)\n a(15) = 0\nend\n";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let mut p = compile(src).unwrap();
+        fold_constant_checks(&mut p.functions[0]);
+        let folded = run(&p, &Limits::default()).unwrap();
+        assert!(naive.trap.is_some());
+        assert!(folded.trap.is_some());
+        assert!(folded.trap.unwrap().at_progress <= naive.trap.unwrap().at_progress);
+    }
+}

@@ -1,0 +1,413 @@
+//! PRE-based check placement: safe-earliest (`SE`) and latest (`LNI`)
+//! transformations of Knoop, Rüthing and Steffen, adapted to the check
+//! domain (§2.1, §3.3).
+//!
+//! The safe-earliest strategy places checks as early as safety allows,
+//! which the paper prefers for checks: a check defines no value, so early
+//! placement costs no register pressure and makes the check available at
+//! more points (turning more other checks redundant). The latest strategy
+//! places checks as late as possible; the paper's `LNI` is
+//! latest-not-isolated — isolation does not change dynamic check counts
+//! (an isolated insertion replaces exactly the single check it covers), so
+//! the latest placement is used here and the (tiny) difference is noted in
+//! `DESIGN.md`.
+//!
+//! Insertion uses the edge predicates of the Drechsler–Stadel formulation:
+//!
+//! ```text
+//! EARLIEST(i→j) = ANTICin(j) ∧ ¬AVAILout(i) ∧ (¬TRANSP(i) ∨ ¬ANTICin(i))
+//! LATER(i→j)    = EARLIEST(i→j) ∨ (LATERIN(i) ∧ ¬ANTLOC(i))
+//! LATERIN(j)    = ⋀_{i∈pred(j)} LATER(i→j)
+//! INSERT(i→j)   = LATER(i→j) ∧ ¬LATERIN(j)       (latest)
+//! ```
+//!
+//! After insertion, the regular availability-based elimination (step 4)
+//! removes the original occurrences that became redundant — and, through
+//! the CIG, any additionally implied checks.
+//!
+//! The paper's Figure 5 profitability caveat is reproduced faithfully:
+//! safe-earliest insertion may increase the checks executed on paths that
+//! previously performed a weaker check (see `tests::figure5`).
+
+use nascent_analysis::dataflow::solve;
+use nascent_ir::{BlockId, Check, CheckExpr, Function, Stmt, Terminator};
+
+use crate::dataflow::{local_predicates, Antic, Avail};
+use crate::universe::Universe;
+use crate::util::BitSet;
+use crate::{ImplicationMode, OptimizeStats};
+
+/// Which placement to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Insert at the earliest safe points (`SE`).
+    SafeEarliest,
+    /// Insert at the latest points that are still as good (`LNI`).
+    Latest,
+}
+
+/// Inserts checks per the placement strategy; returns the number of
+/// checks inserted. Original occurrences are left for the elimination
+/// step to remove.
+pub fn insert(
+    f: &mut Function,
+    placement: Placement,
+    mode: ImplicationMode,
+    stats: &mut OptimizeStats,
+) -> usize {
+    let u = Universe::build(f, mode);
+    if u.is_empty() {
+        return 0;
+    }
+    let antic = solve(f, &Antic { u: &u });
+    let avail = solve(f, &Avail { u: &u });
+    stats.dataflow_iterations += antic.iterations + avail.iterations;
+    let lp = local_predicates(f, &u);
+    let n = u.len();
+
+    // edge list
+    let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+    for b in f.block_ids() {
+        for s in f.successors(b) {
+            edges.push((b, s));
+        }
+    }
+
+    let earliest = |i: BlockId, j: BlockId| -> BitSet {
+        let mut e = antic.entry[j.index()].clone();
+        let mut not_avail = BitSet::full(n);
+        not_avail.subtract(&avail.exit[i.index()]);
+        e.intersect_with(&not_avail);
+        // ¬TRANSP(i) ∨ ¬ANTICin(i)
+        let mut guard = BitSet::full(n);
+        let mut t_and_a = lp.transp[i.index()].clone();
+        t_and_a.intersect_with(&antic.entry[i.index()]);
+        guard.subtract(&t_and_a);
+        e.intersect_with(&guard);
+        e
+    };
+
+    // entry pseudo-edge: checks anticipatable at function entry
+    let entry_insert: BitSet = antic.entry[f.entry.index()].clone();
+
+    let mut insertions: Vec<(InsertPoint, BitSet)> = Vec::new();
+    match placement {
+        Placement::SafeEarliest => {
+            if !entry_insert.is_empty() {
+                insertions.push((InsertPoint::BlockStart(f.entry), entry_insert));
+            }
+            // mid-block earliest points: a check killed inside block b but
+            // anticipated by ALL of b's successors places at b's end
+            // (edge-granular EARLIEST cannot express this; it is what
+            // hoists the paper's Figure 5 check above the branch)
+            let mut antic_out: Vec<BitSet> = vec![BitSet::empty(n); f.blocks.len()];
+            for b in f.block_ids() {
+                let mut acc: Option<BitSet> = None;
+                for s in f.successors(b) {
+                    let e = antic.entry[s.index()].clone();
+                    acc = Some(match acc {
+                        None => e,
+                        Some(mut a) => {
+                            a.intersect_with(&e);
+                            a
+                        }
+                    });
+                }
+                antic_out[b.index()] = acc.unwrap_or_else(|| BitSet::empty(n));
+            }
+            for b in f.block_ids() {
+                let mut at_end = antic_out[b.index()].clone();
+                let mut not_avail = BitSet::full(n);
+                not_avail.subtract(&avail.exit[b.index()]);
+                at_end.intersect_with(&not_avail);
+                let mut not_transp = BitSet::full(n);
+                not_transp.subtract(&lp.transp[b.index()]);
+                at_end.intersect_with(&not_transp);
+                if !at_end.is_empty() {
+                    insertions.push((InsertPoint::BlockEnd(b), at_end));
+                }
+            }
+            for &(i, j) in &edges {
+                // only where end-of-i insertion was impossible (some other
+                // successor of i does not anticipate the check)
+                let mut e = earliest(i, j);
+                e.subtract(&antic_out[i.index()]);
+                if !e.is_empty() {
+                    insertions.push((InsertPoint::Edge(i, j), e));
+                }
+            }
+        }
+        Placement::Latest => {
+            // LATERIN via fixpoint over edges
+            let nb = f.blocks.len();
+            let mut laterin: Vec<BitSet> = vec![BitSet::full(n); nb];
+            laterin[f.entry.index()] = entry_insert.clone();
+            let preds = f.predecessors();
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for b in f.block_ids() {
+                    if b == f.entry {
+                        continue;
+                    }
+                    let mut acc: Option<BitSet> = None;
+                    for &p in &preds[b.index()] {
+                        let mut later = earliest(p, b);
+                        let mut thr = laterin[p.index()].clone();
+                        thr.subtract(&lp.antloc[p.index()]);
+                        later.union_with(&thr);
+                        acc = Some(match acc {
+                            None => later,
+                            Some(mut a) => {
+                                a.intersect_with(&later);
+                                a
+                            }
+                        });
+                    }
+                    let new = acc.unwrap_or_else(|| BitSet::empty(n));
+                    if new != laterin[b.index()] {
+                        laterin[b.index()] = new;
+                        changed = true;
+                    }
+                }
+            }
+            // INSERT(i→j) = LATER(i→j) ∧ ¬LATERIN(j)
+            for &(i, j) in &edges {
+                let mut later = earliest(i, j);
+                let mut thr = laterin[i.index()].clone();
+                thr.subtract(&lp.antloc[i.index()]);
+                later.union_with(&thr);
+                later.subtract(&laterin[j.index()]);
+                // insert only what is actually anticipated at j
+                later.intersect_with(&antic.entry[j.index()]);
+                if !later.is_empty() {
+                    insertions.push((InsertPoint::Edge(i, j), later));
+                }
+            }
+            // entry block: LATERIN(entry) ∧ ANTLOC(entry)-style insertion
+            let mut at_entry = laterin[f.entry.index()].clone();
+            at_entry.intersect_with(&lp.antloc[f.entry.index()]);
+            if !at_entry.is_empty() {
+                insertions.push((InsertPoint::BlockStart(f.entry), at_entry));
+            }
+        }
+    }
+
+    apply_insertions(f, &u, insertions)
+}
+
+enum InsertPoint {
+    /// Prepend to a block.
+    BlockStart(BlockId),
+    /// Append to a block (before the terminator).
+    BlockEnd(BlockId),
+    /// On a CFG edge (placed in the source block, the target block, or a
+    /// freshly split edge block, whichever preserves paths).
+    Edge(BlockId, BlockId),
+}
+
+fn apply_insertions(
+    f: &mut Function,
+    u: &Universe,
+    insertions: Vec<(InsertPoint, BitSet)>,
+) -> usize {
+    let preds = f.predecessors();
+    let mut inserted = 0;
+    for (point, set) in insertions {
+        let mut checks: Vec<CheckExpr> = set.iter().map(|i| u.checks[i].clone()).collect();
+        // strongest first so elimination keeps only the strongest
+        checks.sort_by_key(|c| (c.family_key().clone(), c.bound()));
+        inserted += checks.len();
+        match point {
+            InsertPoint::BlockStart(b) => {
+                let block = f.block_mut(b);
+                for (k, c) in checks.into_iter().enumerate() {
+                    block.stmts.insert(k, Stmt::Check(Check::unconditional(c)));
+                }
+            }
+            InsertPoint::BlockEnd(b) => {
+                let block = f.block_mut(b);
+                for c in checks {
+                    block.stmts.push(Stmt::Check(Check::unconditional(c)));
+                }
+            }
+            InsertPoint::Edge(i, j) => {
+                let target = if f.successors(i).len() == 1 {
+                    // append at the end of i
+                    let block = f.block_mut(i);
+                    for c in checks {
+                        block.stmts.push(Stmt::Check(Check::unconditional(c)));
+                    }
+                    continue;
+                } else if preds[j.index()].len() == 1 {
+                    j
+                } else {
+                    f.split_edge(i, j)
+                };
+                let block = f.block_mut(target);
+                for (k, c) in checks.into_iter().enumerate() {
+                    block.stmts.insert(k, Stmt::Check(Check::unconditional(c)));
+                }
+            }
+        }
+    }
+    // blocks created by split_edge keep the CFG valid
+    debug_assert!(f
+        .blocks
+        .iter()
+        .all(|b| !matches!(b.term, Terminator::Jump(t) if t.index() >= f.blocks.len())));
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::eliminate;
+    use crate::OptimizeStats;
+    use nascent_frontend::compile;
+    use nascent_interp::{run, Limits};
+    use nascent_ir::validate::assert_valid;
+
+    fn se_then_elim(src: &str) -> (nascent_ir::Program, usize, usize) {
+        let mut p = compile(src).unwrap();
+        let mut stats = OptimizeStats::default();
+        let mut ins = 0;
+        let mut rem = 0;
+        for i in 0..p.functions.len() {
+            ins += insert(
+                &mut p.functions[i],
+                Placement::SafeEarliest,
+                ImplicationMode::All,
+                &mut stats,
+            );
+            rem += eliminate(&mut p.functions[i], ImplicationMode::All, &mut stats);
+        }
+        assert_valid(&p);
+        (p, ins, rem)
+    }
+
+    /// The paper's Figure 5: checks (i <= 10) and (i <= 6) on the two
+    /// branches. Safe-earliest hoists (i <= 10) above the branch; the
+    /// else path then executes two checks instead of one.
+    #[test]
+    fn figure5_earliest_is_not_always_profitable() {
+        let src = "program fig5
+ integer a(1:10)
+ integer i, c
+ c = 0
+ i = 2
+ if (c > 0) then
+  a(i) = 1
+ else
+  a(i + 4) = 1
+ endif
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, ins, _rem) = se_then_elim(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert!(ins > 0, "SE inserted hoisted checks");
+        // the else path was taken: the naive program performed 2 checks;
+        // the optimized one performs the hoisted ones plus the stronger
+        // else-check — reproducing the paper's profitability caveat
+        // (dynamic checks do NOT decrease on this path).
+        assert!(opt.dynamic_checks >= naive.dynamic_checks);
+        assert_eq!(opt.output, naive.output);
+        assert_eq!(opt.trap.is_some(), naive.trap.is_some());
+    }
+
+    #[test]
+    fn se_hoists_partially_redundant_check() {
+        // a(i) checked in the then-branch and again after the join:
+        // SE makes the join check fully redundant by inserting on the
+        // else path.
+        let src = "program p
+ integer a(1:10)
+ integer i, c
+ c = 1
+ i = 2
+ if (c > 0) then
+  a(i) = 1
+ else
+  c = 2
+ endif
+ a(i) = 3
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, ins, rem) = se_then_elim(src);
+        assert!(ins >= 2);
+        assert!(rem >= 2);
+        let opt = run(&p, &Limits::default()).unwrap();
+        // then-path now: branch checks once (hoisted or in-place), join
+        // checks eliminated
+        assert!(opt.dynamic_checks <= naive.dynamic_checks);
+        assert_eq!(opt.output, naive.output);
+    }
+
+    #[test]
+    fn latest_placement_also_covers_joins() {
+        let src = "program p
+ integer a(1:10)
+ integer i, c
+ c = 1
+ i = 2
+ if (c > 0) then
+  a(i) = 1
+ else
+  c = 2
+ endif
+ a(i) = 3
+end
+";
+        let mut p = compile(src).unwrap();
+        let mut stats = OptimizeStats::default();
+        let ins = insert(
+            &mut p.functions[0],
+            Placement::Latest,
+            ImplicationMode::All,
+            &mut stats,
+        );
+        let rem = eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+        assert_valid(&p);
+        let opt = run(&p, &Limits::default()).unwrap();
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert!(ins >= 1);
+        assert!(rem >= 1);
+        assert!(opt.dynamic_checks <= naive.dynamic_checks);
+    }
+
+    #[test]
+    fn straightline_program_gains_nothing() {
+        let src = "program p\n integer a(1:10)\n integer i\n i = 1\n a(i) = 0\nend\n";
+        let (p, _ins, rem) = se_then_elim(src);
+        // nothing partially redundant: the two checks stay
+        assert_eq!(rem + p.check_count(), 2 + _ins);
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.dynamic_checks, naive.dynamic_checks);
+    }
+
+    #[test]
+    fn se_preserves_trap_semantics_not_later() {
+        let src = "program p
+ integer a(1:5)
+ integer i, c
+ c = 1
+ i = 9
+ if (c > 0) then
+  a(i) = 1
+ else
+  a(i) = 2
+ endif
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, _, _) = se_then_elim(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        let nt = naive.trap.expect("naive traps");
+        let ot = opt.trap.expect("optimized traps");
+        assert!(ot.at_progress <= nt.at_progress, "trap not later");
+    }
+}

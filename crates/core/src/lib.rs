@@ -1,0 +1,272 @@
+//! The range-check optimizer of Kolte & Wolfe, *Elimination of Redundant
+//! Array Subscript Range Checks* (PLDI 1995).
+//!
+//! The optimizer takes a program whose array accesses carry naive
+//! canonical range checks and reduces the number of checks executed at run
+//! time without compromising safety, in the paper's five steps:
+//!
+//! 1. build the **check implication graph** ([`cig`]) over check
+//!    *families* (checks sharing a range expression),
+//! 2. compute **anticipatable** checks (backward data flow, [`dataflow`]),
+//! 3. **insert** checks at safe and profitable points under one of seven
+//!    placement schemes ([`Scheme`]),
+//! 4. compute **available** checks (forward data flow) and **eliminate**
+//!    redundant ones ([`elim`]),
+//! 5. evaluate **compile-time** checks ([`fold`]), reporting provably
+//!    violated ones as `TRAP`s.
+//!
+//! Checks can be built from program expressions (`PRX`) or re-expressed
+//! through induction expressions (`INX`, [`inx`]), and implications can be
+//! restricted for the paper's Table 3 ablation ([`ImplicationMode`]).
+//!
+//! # Example
+//!
+//! ```
+//! use nascent_rangecheck::{optimize_program, OptimizeOptions, Scheme};
+//!
+//! let mut prog = nascent_frontend::compile(
+//!     "program p\n integer a(1:100)\n integer i\n do i = 1, 50\n a(i) = i\n enddo\nend\n",
+//! ).unwrap();
+//! let before = prog.check_count();
+//! let stats = optimize_program(&mut prog, &OptimizeOptions::scheme(Scheme::Lls));
+//! // loop-limit substitution hoists both checks out of the loop
+//! assert!(prog.check_count() < before);
+//! assert_eq!(stats.hoisted, 2);
+//! ```
+
+pub mod cig;
+pub mod dataflow;
+pub mod elim;
+pub mod fold;
+pub mod inx;
+pub mod lcm;
+pub mod mcm;
+pub mod preheader;
+pub mod report;
+pub mod strength;
+pub mod universe;
+pub mod util;
+
+use nascent_ir::{Function, Program};
+
+pub use cig::{Cig, FamilyId};
+pub use universe::Universe;
+
+/// Check placement scheme (§3.3 and Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Redundancy elimination without any insertion of checks.
+    Ni,
+    /// Check strengthening (Gupta).
+    Cs,
+    /// Latest-not-isolated placement (lazy code motion).
+    Lni,
+    /// Safe-earliest placement.
+    Se,
+    /// Preheader insertion of loop-invariant checks only.
+    Li,
+    /// Preheader insertion with loop-limit substitution of linear checks.
+    Lls,
+    /// Loop-limit substitution followed by safe-earliest placement.
+    All,
+    /// Markstein–Cocke–Markstein (SIGPLAN '82): restricted preheader
+    /// insertion from articulation nodes with simple range expressions —
+    /// the baseline the paper's §5 proposes comparing against (not one of
+    /// Table 2's seven schemes).
+    Mcm,
+}
+
+impl Scheme {
+    /// All seven schemes in the paper's table order.
+    pub const EACH: [Scheme; 7] = [
+        Scheme::Ni,
+        Scheme::Cs,
+        Scheme::Lni,
+        Scheme::Se,
+        Scheme::Li,
+        Scheme::Lls,
+        Scheme::All,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Ni => "NI",
+            Scheme::Cs => "CS",
+            Scheme::Lni => "LNI",
+            Scheme::Se => "SE",
+            Scheme::Li => "LI",
+            Scheme::Lls => "LLS",
+            Scheme::All => "ALL",
+            Scheme::Mcm => "MCM",
+        }
+    }
+}
+
+/// How checks are constructed (§2.3, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckKind {
+    /// From program expressions, as the frontend emitted them.
+    #[default]
+    Prx,
+    /// Re-expressed through induction/defining expressions first.
+    Inx,
+}
+
+/// Which implications between checks are used (§4.4, Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ImplicationMode {
+    /// All implications, within and across families.
+    #[default]
+    All,
+    /// Only implications between different families (the paper's `LLS'`),
+    /// which keeps preheader-to-body implications alive.
+    CrossFamilyOnly,
+    /// No implications at all (the paper's `NI'`, `SE'`): a check is
+    /// redundant only if an *identical* check is available.
+    None,
+}
+
+/// Options controlling one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeOptions {
+    /// Placement scheme.
+    pub scheme: Scheme,
+    /// PRX or INX checks.
+    pub kind: CheckKind,
+    /// Implication ablation.
+    pub implications: ImplicationMode,
+}
+
+impl OptimizeOptions {
+    /// Options for a scheme with PRX checks and all implications.
+    pub fn scheme(scheme: Scheme) -> OptimizeOptions {
+        OptimizeOptions {
+            scheme,
+            kind: CheckKind::default(),
+            implications: ImplicationMode::default(),
+        }
+    }
+
+    /// Same options with a different check kind.
+    pub fn with_kind(mut self, kind: CheckKind) -> OptimizeOptions {
+        self.kind = kind;
+        self
+    }
+
+    /// Same options with a different implication mode.
+    pub fn with_implications(mut self, implications: ImplicationMode) -> OptimizeOptions {
+        self.implications = implications;
+        self
+    }
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions::scheme(Scheme::Lls)
+    }
+}
+
+/// Statistics accumulated over one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Static checks before optimization.
+    pub static_before: usize,
+    /// Static checks after optimization (conditional checks included).
+    pub static_after: usize,
+    /// Checks inserted by PRE placement (SE/LNI), total.
+    pub inserted: usize,
+    /// Checks hoisted into preheaders (LI/LLS/ALL), total.
+    pub hoisted: usize,
+    /// Checks whose bound was strengthened in place (CS).
+    pub strengthened: usize,
+    /// Checks removed by availability-based elimination.
+    pub eliminated_static: usize,
+    /// Checks folded away as compile-time true.
+    pub folded_true: usize,
+    /// Checks proven false at compile time (replaced by `TRAP`).
+    pub folded_false: usize,
+    /// Check families across all functions.
+    pub families: usize,
+    /// Cross-family implication edges discovered.
+    pub cig_edges: usize,
+    /// Data-flow worklist iterations consumed.
+    pub dataflow_iterations: u64,
+}
+
+impl OptimizeStats {
+    fn absorb(&mut self, other: OptimizeStats) {
+        self.static_before += other.static_before;
+        self.static_after += other.static_after;
+        self.inserted += other.inserted;
+        self.hoisted += other.hoisted;
+        self.strengthened += other.strengthened;
+        self.eliminated_static += other.eliminated_static;
+        self.folded_true += other.folded_true;
+        self.folded_false += other.folded_false;
+        self.families += other.families;
+        self.cig_edges += other.cig_edges;
+        self.dataflow_iterations += other.dataflow_iterations;
+    }
+}
+
+/// Optimizes every function of a program in place.
+pub fn optimize_program(prog: &mut Program, opts: &OptimizeOptions) -> OptimizeStats {
+    let mut stats = OptimizeStats::default();
+    for f in &mut prog.functions {
+        stats.absorb(optimize_function(f, opts));
+    }
+    stats
+}
+
+/// Optimizes one function in place.
+pub fn optimize_function(f: &mut Function, opts: &OptimizeOptions) -> OptimizeStats {
+    let mut stats = OptimizeStats {
+        static_before: f.check_count(),
+        ..OptimizeStats::default()
+    };
+
+    // INX mode: re-express checks through defining expressions first.
+    if opts.kind == CheckKind::Inx {
+        inx::rewrite_checks(f);
+    }
+
+    // step 3: insertion under the selected scheme
+    match opts.scheme {
+        Scheme::Ni => {}
+        Scheme::Cs => {
+            stats.strengthened = strength::strengthen(f, opts.implications, &mut stats);
+        }
+        Scheme::Se => {
+            stats.inserted = lcm::insert(f, lcm::Placement::SafeEarliest, opts.implications, &mut stats);
+        }
+        Scheme::Lni => {
+            stats.inserted = lcm::insert(f, lcm::Placement::Latest, opts.implications, &mut stats);
+        }
+        Scheme::Li => {
+            stats.hoisted = preheader::hoist(f, preheader::HoistKind::InvariantOnly);
+        }
+        Scheme::Lls => {
+            stats.hoisted = preheader::hoist(f, preheader::HoistKind::InvariantAndLinear);
+        }
+        Scheme::All => {
+            stats.hoisted = preheader::hoist(f, preheader::HoistKind::InvariantAndLinear);
+            stats.inserted = lcm::insert(f, lcm::Placement::SafeEarliest, opts.implications, &mut stats);
+        }
+        Scheme::Mcm => {
+            stats.hoisted = mcm::hoist_mcm(f);
+        }
+    }
+
+    // steps 1/2/4: availability-based elimination with the CIG
+    let eliminated = elim::eliminate(f, opts.implications, &mut stats);
+    stats.eliminated_static += eliminated;
+
+    // step 5: compile-time checks
+    let (t, fa) = fold::fold_constant_checks(f);
+    stats.folded_true = t;
+    stats.folded_false = fa;
+
+    stats.static_after = f.check_count();
+    stats
+}

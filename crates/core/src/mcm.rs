@@ -1,0 +1,188 @@
+//! The Markstein–Cocke–Markstein baseline (SIGPLAN '82), as characterized
+//! in the paper's §5: "an algorithm that is like a restricted form of
+//! preheader check insertion; the only checks that it considers for
+//! preheader insertion are the checks present in articulation nodes in
+//! the loop body (because these nodes post-dominate the loop entry nodes
+//! and dominate the loop exit nodes) and which have simple range
+//! expressions."
+//!
+//! The paper's own conclusion invites this comparison: "it would be
+//! interesting to implement the Markstein et al. algorithm in Nascent to
+//! compare its effectiveness with the loop-limit substitution algorithm".
+//! This module provides that comparison (see the `extensions` binary):
+//!
+//! * candidates come only from *articulation* blocks — blocks that
+//!   dominate the loop's latch **and** post-dominate the loop's body
+//!   entry (i.e. execute exactly once per iteration), instead of the
+//!   data-flow anticipatability used by `LI`/`LLS`;
+//! * only *simple* range expressions are hoisted: `±v (+ constant)` for
+//!   `v` the loop's basic induction variable or a loop invariant.
+
+use nascent_analysis::dom::{Dominators, PostDominators};
+use nascent_analysis::loops::{insert_preheaders, LoopForest};
+use nascent_ir::{Check, CheckExpr, Function, Stmt};
+
+use crate::preheader::substitute_limit_for;
+
+/// Runs the restricted (MCM) preheader insertion over all loops, inner to
+/// outer. Returns the number of checks hoisted.
+pub fn hoist_mcm(f: &mut Function) -> usize {
+    insert_preheaders(f);
+    let dom = Dominators::compute(f);
+    let pdom = PostDominators::compute(f);
+    let forest = LoopForest::compute_with(f, &dom);
+    let mut hoisted = 0;
+    for l in forest.inner_to_outer() {
+        let info = forest.loop_info(l).clone();
+        let Some(preheader) = info.preheader else { continue };
+        let Some(body_entry) = info.body_entry else { continue };
+        let [latch] = info.latches[..] else { continue };
+        let Some(iv) = info.iv.clone() else { continue };
+        let Some(guard) = iv.entry_guard() else { continue };
+        let guards = match guard.constant_verdict() {
+            Some(true) => vec![],
+            Some(false) => continue,
+            None => vec![guard],
+        };
+        // articulation blocks: execute exactly once per iteration
+        let articulation: Vec<_> = info
+            .blocks
+            .iter()
+            .copied()
+            .filter(|&b| dom.dominates(b, latch) && pdom.postdominates(b, body_entry))
+            .collect();
+        let mut moved: Vec<(CheckExpr, CheckExpr)> = Vec::new(); // (original, hoisted)
+        for &b in &articulation {
+            for s in &f.block(b).stmts {
+                let Stmt::Check(c) = s else { continue };
+                if !c.is_unconditional() || !is_simple(&c.cond) {
+                    continue;
+                }
+                let hoisted_expr = if info.is_invariant(c.cond.form()) {
+                    Some(c.cond.clone())
+                } else {
+                    substitute_limit_for(&info, &c.cond)
+                };
+                if let Some(h) = hoisted_expr {
+                    if !moved.iter().any(|(o, _)| o == &c.cond) {
+                        moved.push((c.cond.clone(), h));
+                    }
+                }
+            }
+        }
+        // insert in the preheader, delete the covered occurrences
+        for (_, h) in &moved {
+            f.block_mut(preheader)
+                .stmts
+                .push(Stmt::Check(Check::conditional(guards.clone(), h.clone())));
+            hoisted += 1;
+        }
+        for &b in &articulation {
+            let stmts = std::mem::take(&mut f.block_mut(b).stmts);
+            f.block_mut(b).stmts = stmts
+                .into_iter()
+                .filter(|s| {
+                    !matches!(s, Stmt::Check(c)
+                        if c.is_unconditional()
+                            && moved.iter().any(|(o, _)| o == &c.cond))
+                })
+                .collect();
+        }
+    }
+    hoisted
+}
+
+/// MCM's "simple range expressions": a single degree-1 variable with
+/// coefficient ±1 (any constant folds into the range constant).
+fn is_simple(c: &CheckExpr) -> bool {
+    matches!(c.form().as_single_var(), Some((_, 1 | -1, _)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::eliminate;
+    use crate::{ImplicationMode, OptimizeStats};
+    use nascent_frontend::compile;
+    use nascent_interp::{run, Limits};
+    use nascent_ir::validate::assert_valid;
+
+    fn mcm(src: &str) -> (nascent_ir::Program, usize) {
+        let mut p = compile(src).unwrap();
+        let mut stats = OptimizeStats::default();
+        let mut h = 0;
+        for i in 0..p.functions.len() {
+            h += hoist_mcm(&mut p.functions[i]);
+            eliminate(&mut p.functions[i], ImplicationMode::All, &mut stats);
+        }
+        assert_valid(&p);
+        (p, h)
+    }
+
+    #[test]
+    fn hoists_simple_checks_from_straightline_body() {
+        let src = "program p\n integer a(1:50)\n integer i\n do i = 1, 50\n a(i) = i\n enddo\nend\n";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, h) = mcm(src);
+        assert_eq!(h, 2);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert!(opt.dynamic_checks <= 2);
+    }
+
+    #[test]
+    fn skips_checks_in_branches() {
+        // the access is inside a branch: not an articulation node
+        let src = "program p
+ integer a(1:50)
+ integer i
+ do i = 1, 50
+  if (mod(i, 2) == 0) then
+   a(i) = i
+  endif
+ enddo
+ print a(2)
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, h) = mcm(src);
+        assert_eq!(h, 0);
+        let opt = run(&p, &Limits::default()).unwrap();
+        // the in-loop checks all remain (the elimination step may fold the
+        // trailing constant-subscript access, nothing more)
+        assert!(opt.dynamic_checks + 2 >= naive.dynamic_checks);
+        assert_eq!(opt.output, naive.output);
+    }
+
+    #[test]
+    fn skips_complex_range_expressions_that_lls_handles() {
+        // subscript 2*i is not "simple" for MCM but is linear for LLS
+        let src = "program p
+ integer a(1:100)
+ integer i
+ do i = 1, 50
+  a(2 * i) = i
+ enddo
+end
+";
+        let (_, h) = mcm(src);
+        assert_eq!(h, 0, "MCM must skip coefficient-2 subscripts");
+        let mut p2 = compile(src).unwrap();
+        let h2 = crate::preheader::hoist(
+            &mut p2.functions[0],
+            crate::preheader::HoistKind::InvariantAndLinear,
+        );
+        assert!(h2 >= 2, "LLS handles what MCM cannot");
+    }
+
+    #[test]
+    fn mcm_preserves_trap_semantics() {
+        let src = "program p\n integer a(1:10)\n integer i, s\n s = 0\n do i = 1, 12\n s = s + a(i)\n enddo\n print s\nend\n";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, _) = mcm(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        let nt = naive.trap.expect("naive traps");
+        let ot = opt.trap.expect("optimized traps");
+        assert!(ot.at_progress <= nt.at_progress);
+    }
+}

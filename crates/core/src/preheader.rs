@@ -1,0 +1,601 @@
+//! Preheader insertion (§3.3): the paper's `LI` (loop-invariant checks)
+//! and `LLS` (loop-limit substitution of linear checks) schemes — the
+//! clear winners of the paper's evaluation.
+//!
+//! Loops are processed inner to outer, "so that checks from inner loops
+//! are hoisted to the outermost loop possible". For each loop:
+//!
+//! * a check anticipatable at the *beginning of the loop body* whose range
+//!   expression is **invariant** in the loop is hoisted to the preheader
+//!   as `Cond-check((trip ≥ 1), C)`;
+//! * under `LLS`, a check whose range expression is **linear** in the
+//!   loop's basic induction variable additionally undergoes *loop-limit
+//!   substitution*: the induction variable is replaced by the loop bound
+//!   that maximizes its signed contribution, and the substituted check is
+//!   hoisted the same way;
+//! * when the trip count is known positive at compile time, an ordinary
+//!   (unconditional) check is inserted instead of a conditional one;
+//! * hoisted conditional checks from inner preheaders are re-hoisted
+//!   outward structurally: a guarded check in a block that dominates the
+//!   outer loop's latch moves to the outer preheader with the outer
+//!   loop's guard appended (these are exactly the preheader-to-body
+//!   implications that the paper's Table 3 found to matter).
+//!
+//! Every check in the loop covered by a hoisted check — same family, same
+//! or weaker bound, at a point where the induction variable is still
+//! within its body-valid bounds — is deleted immediately; the general
+//! elimination pass then cleans up anything the CIG additionally implies.
+
+use std::collections::HashMap;
+
+use nascent_analysis::dataflow::solve;
+use nascent_analysis::dom::Dominators;
+use nascent_analysis::loops::{insert_preheaders, LoopForest, LoopId, LoopInfo};
+use nascent_analysis::reach::{unique_defs, UniqueDefs};
+use nascent_ir::{BlockId, Check, CheckExpr, Function, LinForm, Stmt, VarId};
+
+use crate::dataflow::Antic;
+use crate::universe::Universe;
+use crate::ImplicationMode;
+
+/// Which checks the preheader scheme hoists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoistKind {
+    /// Only loop-invariant checks (`LI`).
+    InvariantOnly,
+    /// Invariant and linear checks with loop-limit substitution (`LLS`).
+    InvariantAndLinear,
+}
+
+/// Runs preheader insertion over all loops of `f`, inner to outer.
+/// Returns the number of checks hoisted (conditional or not).
+pub fn hoist(f: &mut Function, kind: HoistKind) -> usize {
+    insert_preheaders(f);
+    let dom = Dominators::compute(f);
+    let forest = LoopForest::compute_with(f, &dom);
+    let mut hoisted = 0;
+    for l in forest.inner_to_outer() {
+        hoisted += hoist_loop(f, &dom, &forest, l, kind);
+    }
+    hoisted
+}
+
+/// Substitutes uniquely defined variables (typically the frontend's
+/// loop-limit temporaries, `%lim = n`) through their defining expressions
+/// when the result is evaluable at the end of block `at`: every variable
+/// of the replacement must be never-defined or uniquely defined in a
+/// block dominating (or equal to) `at`. Repeats to a fixpoint so chains
+/// resolve.
+fn normalize_form(
+    f: &Function,
+    dom: &Dominators,
+    udefs: &UniqueDefs,
+    at: BlockId,
+    form: &LinForm,
+) -> LinForm {
+    let stable = |w: VarId| -> bool {
+        match udefs.get(&w) {
+            Some(site) => site.block == at || dom.dominates(site.block, at),
+            // not uniquely defined: acceptable only if never defined at all
+            None => f.blocks.iter().all(|b| {
+                b.stmts.iter().all(|s| s.defined_var() != Some(w))
+            }),
+        }
+    };
+    let mut cur = form.clone();
+    for _ in 0..8 {
+        let mut changed = false;
+        for v in cur.vars() {
+            let Some(site) = udefs.get(&v) else { continue };
+            // already evaluable in place: leave it
+            if site.block == at || dom.dominates(site.block, at) {
+                continue;
+            }
+            let Some(rhs) = &site.rhs else { continue };
+            let r = LinForm::from_expr(rhs);
+            if r.uses_var(v) || !r.vars().iter().all(|w| stable(*w)) {
+                continue;
+            }
+            if let Some(next) = cur.substitute_var(v, &r) {
+                cur = next;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// Normalizes a check expression for evaluation at the end of `at`.
+fn normalize_check(
+    f: &Function,
+    dom: &Dominators,
+    udefs: &UniqueDefs,
+    at: BlockId,
+    ce: &CheckExpr,
+) -> CheckExpr {
+    let form = normalize_form(f, dom, udefs, at, ce.form());
+    CheckExpr::new(form, ce.bound())
+}
+
+fn hoist_loop(
+    f: &mut Function,
+    dom: &Dominators,
+    forest: &LoopForest,
+    l: LoopId,
+    kind: HoistKind,
+) -> usize {
+    let info = forest.loop_info(l).clone();
+    let Some(preheader) = info.preheader else {
+        return 0;
+    };
+    let Some(body_entry) = info.body_entry else {
+        return 0;
+    };
+
+    // ---- candidates: unconditional checks anticipatable at body entry ----
+    let u = Universe::build(f, ImplicationMode::All);
+    let antic = solve(f, &Antic { u: &u });
+    let at_body = &antic.entry[body_entry.index()];
+
+    // hoisting is only profitable for checks that actually occur inside
+    // the loop ("checks from inner loops are hoisted"); a check whose
+    // occurrences all lie past the loop exit may be anticipatable at the
+    // body entry (it is executed after the loop on every path) but
+    // hoisting it would add work
+    let mut occurs_in_loop = crate::util::BitSet::empty(u.len());
+    for &b in &info.blocks {
+        for s in &f.block(b).stmts {
+            if let Stmt::Check(c) = s {
+                if c.is_unconditional() {
+                    if let Some(id) = u.id(&c.cond) {
+                        occurs_in_loop.insert(id);
+                    }
+                }
+            }
+        }
+    }
+
+    // guard expressing "the loop executes at least once"
+    let guard = info.iv.as_ref().and_then(|iv| iv.entry_guard());
+
+    // per original family: the strongest candidate and its substitution
+    struct Candidate {
+        family: LinForm,
+        bound: i64,
+        hoisted: CheckExpr,
+        linear: bool,
+    }
+    let mut cands: HashMap<LinForm, Candidate> = HashMap::new();
+    for id in at_body.iter() {
+        if !occurs_in_loop.contains(id) {
+            continue;
+        }
+        let cond = &u.checks[id];
+        let (hoisted_expr, linear) = if info.is_invariant(cond.form()) {
+            (cond.clone(), false)
+        } else if kind == HoistKind::InvariantAndLinear {
+            match substitute_limit(&info, cond) {
+                Some(h) => (h, true),
+                None => continue,
+            }
+        } else {
+            continue;
+        };
+        let key = cond.family_key().clone();
+        let entry = cands.entry(key.clone());
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                if cond.bound() < o.get().bound {
+                    *o.get_mut() = Candidate {
+                        family: key,
+                        bound: cond.bound(),
+                        hoisted: hoisted_expr,
+                        linear,
+                    };
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Candidate {
+                    family: key,
+                    bound: cond.bound(),
+                    hoisted: hoisted_expr,
+                    linear,
+                });
+            }
+        }
+    }
+
+    // hoisting (even of an invariant check) needs the loop-entry guard,
+    // unless the guard is a compile-time tautology
+    let guard_list: Option<Vec<CheckExpr>> = match &guard {
+        Some(g) => match g.constant_verdict() {
+            Some(true) => Some(vec![]),
+            Some(false) => None, // loop provably never runs: hoist nothing
+            None => Some(vec![g.clone()]),
+        },
+        None => None,
+    };
+
+    let mut count = 0;
+    if let Some(guards) = guard_list {
+        let mut ordered: Vec<&Candidate> = cands.values().collect();
+        ordered.sort_by(|a, b| (&a.family, a.bound).cmp(&(&b.family, b.bound)));
+        for c in &ordered {
+            let check = Check::conditional(guards.clone(), c.hoisted.clone());
+            f.block_mut(preheader).stmts.push(Stmt::Check(check));
+            count += 1;
+        }
+        // delete covered checks inside the loop
+        let latch = info.latches.first().copied();
+        let iv_var = info.iv.as_ref().map(|iv| iv.var);
+        for &b in &info.blocks {
+            let block = f.block_mut(b);
+            let mut iv_defined = false;
+            let mut kept = Vec::with_capacity(block.stmts.len());
+            for s in std::mem::take(&mut block.stmts) {
+                let covered = match &s {
+                    Stmt::Check(c) if c.is_unconditional() => ordered.iter().any(|cand| {
+                        c.cond.family_key() == &cand.family
+                            && c.cond.bound() >= cand.bound
+                            && !(cand.linear && Some(b) == latch && iv_defined)
+                    }),
+                    _ => false,
+                };
+                if covered {
+                    count += 0; // deletion accounted via elimination stats
+                } else {
+                    kept.push(s);
+                }
+                if let Some(last) = kept.last() {
+                    if last.defined_var().is_some() && last.defined_var() == iv_var {
+                        iv_defined = true;
+                    }
+                }
+            }
+            block.stmts = kept;
+        }
+    }
+
+    // ---- structural re-hoist of guarded checks from dominated blocks ----
+    count += rehoist_guarded(f, dom, &info, preheader, &guard);
+    count
+}
+
+/// Public form of the loop-limit substitution for the restricted MCM
+/// scheme (see the private `substitute_limit`).
+pub fn substitute_limit_for(info: &LoopInfo, cond: &CheckExpr) -> Option<CheckExpr> {
+    substitute_limit(info, cond)
+}
+
+/// Loop-limit substitution: replace the induction variable by the bound
+/// that maximizes its signed contribution, giving a check that covers all
+/// body-valid values (§3.3, Figure 6).
+fn substitute_limit(info: &LoopInfo, cond: &CheckExpr) -> Option<CheckExpr> {
+    let coeff = info.linear_in_iv(cond.form())?;
+    let iv = info.iv.as_ref()?;
+    let bound_form = if coeff > 0 {
+        iv.upper.as_ref()?
+    } else {
+        iv.lower.as_ref()?
+    };
+    let substituted = cond.form().substitute_var(iv.var, bound_form)?;
+    Some(CheckExpr::new(substituted, cond.bound()))
+}
+
+/// Moves guarded checks (conditional checks inserted when processing
+/// inner loops) outward: a guarded check in a block dominating the loop's
+/// latch, whose guards are invariant and whose check is invariant (or
+/// linear, substituted), moves to this loop's preheader with this loop's
+/// entry guard appended.
+fn rehoist_guarded(
+    f: &mut Function,
+    dom: &Dominators,
+    info: &LoopInfo,
+    preheader: BlockId,
+    guard: &Option<CheckExpr>,
+) -> usize {
+    let [latch] = info.latches[..] else { return 0 };
+    let outer_guard = match guard {
+        Some(g) => match g.constant_verdict() {
+            Some(true) => None,
+            Some(false) => return 0,
+            None => Some(g.clone()),
+        },
+        None => return 0,
+    };
+    let udefs = unique_defs(f);
+    let mut moved: Vec<Check> = Vec::new();
+    for &b in &info.blocks {
+        if b == info.header || !dom.dominates(b, latch) {
+            continue;
+        }
+        let stmts = std::mem::take(&mut f.block_mut(b).stmts);
+        let mut kept = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            let Stmt::Check(c) = &s else {
+                kept.push(s);
+                continue;
+            };
+            if c.is_unconditional() {
+                kept.push(s);
+                continue;
+            }
+            // normalize loop-limit temporaries away so the forms become
+            // evaluable (and recognizable as invariant) at the preheader
+            let guards: Vec<CheckExpr> = c
+                .guards
+                .iter()
+                .map(|g| normalize_check(f, dom, &udefs, preheader, g))
+                .collect();
+            let cond = normalize_check(f, dom, &udefs, preheader, &c.cond);
+            let guards_invariant = guards.iter().all(|g| info.is_invariant(g.form()));
+            if !guards_invariant {
+                kept.push(s);
+                continue;
+            }
+            let new_cond = if info.is_invariant(cond.form()) {
+                Some(cond)
+            } else {
+                substitute_limit(info, &cond)
+                    .map(|c| normalize_check(f, dom, &udefs, preheader, &c))
+            };
+            match new_cond {
+                Some(cond) => {
+                    let mut guards = guards;
+                    if let Some(g) = &outer_guard {
+                        guards.push(normalize_check(f, dom, &udefs, preheader, g));
+                    }
+                    moved.push(Check::conditional(guards, cond));
+                }
+                None => kept.push(s),
+            }
+        }
+        f.block_mut(b).stmts = kept;
+    }
+    let n = moved.len();
+    for c in moved {
+        f.block_mut(preheader).stmts.push(Stmt::Check(c));
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::eliminate;
+    use crate::fold::fold_constant_checks;
+    use crate::OptimizeStats;
+    use nascent_frontend::compile;
+    use nascent_interp::{run, Limits};
+    use nascent_ir::validate::assert_valid;
+
+    fn lls(src: &str) -> (nascent_ir::Program, usize) {
+        let mut p = compile(src).unwrap();
+        let mut hoisted = 0;
+        let mut stats = OptimizeStats::default();
+        for i in 0..p.functions.len() {
+            hoisted += hoist(&mut p.functions[i], HoistKind::InvariantAndLinear);
+            eliminate(&mut p.functions[i], ImplicationMode::All, &mut stats);
+            fold_constant_checks(&mut p.functions[i]);
+        }
+        assert_valid(&p);
+        (p, hoisted)
+    }
+
+    /// The paper's Figure 6: invariant check on k and linear check on j
+    /// both leave the loop as conditional checks in the preheader.
+    #[test]
+    fn figure6_preheader_insertion() {
+        let src = "program fig6
+ integer a(1:10)
+ integer j, k, n
+ n = 4
+ k = 7
+ do j = 1, 2 * n
+  a(k) = a(j) + 1
+ enddo
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, hoisted) = lls(src);
+        assert!(hoisted >= 3, "k's two checks and j's upper at least");
+        // the loop body performs no checks anymore
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert!(opt.dynamic_checks <= 4, "only preheader checks remain");
+        assert!(naive.dynamic_checks >= 32);
+        assert_eq!(opt.output, naive.output);
+        assert_eq!(opt.trap.is_some(), naive.trap.is_some());
+    }
+
+    #[test]
+    fn zero_trip_loop_checks_suppressed_by_guard() {
+        // n = 0: the loop never runs; guarded checks must not fire even
+        // though k is out of range
+        let src = "program p
+ integer a(1:10)
+ integer j, k, n
+ n = 0
+ k = 99
+ do j = 1, n
+  a(k) = 0
+ enddo
+ print 1
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        assert!(naive.trap.is_none());
+        let (p, _h) = lls(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert!(opt.trap.is_none(), "guard must suppress hoisted checks");
+        assert_eq!(opt.output, naive.output);
+    }
+
+    #[test]
+    fn li_hoists_invariant_but_not_linear() {
+        let src = "program p
+ integer a(1:10)
+ integer j, k, n
+ n = 4
+ k = 7
+ do j = 1, n
+  a(k) = a(j) + 1
+ enddo
+end
+";
+        let mut p = compile(src).unwrap();
+        let h = hoist(&mut p.functions[0], HoistKind::InvariantOnly);
+        assert_eq!(h, 2, "only k's two invariant checks hoist under LI");
+        let mut stats = OptimizeStats::default();
+        eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+        assert_valid(&p);
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let opt = run(&p, &Limits::default()).unwrap();
+        // j's checks remain in the loop: 2 per iteration; k's are hoisted
+        assert_eq!(opt.output, naive.output);
+        assert!(opt.dynamic_checks < naive.dynamic_checks);
+        assert!(opt.dynamic_checks >= 8);
+    }
+
+    #[test]
+    fn nested_loops_hoist_to_outermost() {
+        let src = "program p
+ integer a(1:100, 1:100)
+ integer i, j, n
+ n = 50
+ do i = 1, n
+  do j = 1, n
+   a(i, j) = i + j
+  enddo
+ enddo
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, hoisted) = lls(src);
+        assert!(hoisted >= 4);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        // 2500 accesses * 4 checks naive vs a handful of hoisted checks
+        assert_eq!(naive.dynamic_checks, 10_000);
+        assert!(
+            opt.dynamic_checks <= 2 + 2 * 50,
+            "outer checks hoisted fully, got {}",
+            opt.dynamic_checks
+        );
+    }
+
+    #[test]
+    fn triangular_loop_limit_substitution() {
+        // inner limit depends on the outer IV: inner hoist uses it as an
+        // invariant bound; re-hoisting out of the outer loop substitutes
+        let src = "program p
+ integer a(1:60)
+ integer i, j, n
+ n = 10
+ do i = 1, n
+  do j = 1, i
+   a(i + j) = 1
+  enddo
+ enddo
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, _h) = lls(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert_eq!(opt.trap.is_some(), naive.trap.is_some());
+        assert!(opt.dynamic_checks < naive.dynamic_checks);
+    }
+
+    #[test]
+    fn trap_still_detected_and_not_later() {
+        // j runs to 12 against a(1:10): naive traps at j = 11; LLS's
+        // hoisted check traps before the loop — never later
+        let src = "program p
+ integer a(1:10)
+ integer j, s
+ s = 0
+ do j = 1, 12
+  s = s + a(j)
+ enddo
+ print s
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, _) = lls(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        let nt = naive.trap.expect("naive traps");
+        let ot = opt.trap.expect("optimized must trap too");
+        assert!(ot.at_progress <= nt.at_progress);
+    }
+
+    #[test]
+    fn negative_step_loop_hoists() {
+        let src = "program p
+ integer a(1:20)
+ integer j, n
+ n = 20
+ do j = n, 1, -1
+  a(j) = j
+ enddo
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, hoisted) = lls(src);
+        assert!(hoisted >= 2);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert!(opt.dynamic_checks <= 2);
+    }
+
+    #[test]
+    fn conditional_check_in_branch_not_hoisted() {
+        // the access is conditional inside the loop: not anticipatable at
+        // body entry, must stay put
+        let src = "program p
+ integer a(1:10)
+ integer j, k
+ k = 12
+ do j = 1, 10
+  if (j == 20) then
+   a(k) = 0
+  endif
+ enddo
+ print 5
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        assert!(naive.trap.is_none(), "branch never taken");
+        let (p, _) = lls(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert!(
+            opt.trap.is_none(),
+            "hoisting a non-anticipatable check would trap wrongly"
+        );
+        assert_eq!(opt.output, naive.output);
+    }
+
+    #[test]
+    fn while_loop_with_iv_hoists_linear_checks() {
+        let src = "program p
+ integer a(1:50)
+ integer i, n
+ n = 40
+ i = 1
+ while (i <= n)
+  a(i) = i
+  i = i + 1
+ endwhile
+end
+";
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        let (p, hoisted) = lls(src);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output);
+        assert!(hoisted >= 2);
+        assert!(opt.dynamic_checks < naive.dynamic_checks / 10);
+    }
+}

@@ -1,0 +1,155 @@
+//! Human-readable optimization reports.
+//!
+//! The paper's step 5 requires compile-time-false checks to be "reported
+//! to the programmer"; this module generalizes that into a diff-style
+//! report of what the optimizer did to a function's checks: per family,
+//! how many occurrences existed before and remain after, which
+//! conditional checks now guard loops, and which checks were proven
+//! violated.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use nascent_ir::{Function, LinForm, Program, Stmt};
+
+/// Check census of one function: occurrences per family with the
+/// strongest and weakest bound seen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Census {
+    /// `family form -> (occurrences, strongest bound, weakest bound)`.
+    pub families: BTreeMap<LinForm, (usize, i64, i64)>,
+    /// Number of conditional (`Cond-check`) statements.
+    pub conditional: usize,
+    /// Number of `TRAP` statements (provably violated checks).
+    pub traps: usize,
+}
+
+/// Takes the check census of a function.
+pub fn census(f: &Function) -> Census {
+    let mut out = Census::default();
+    for b in &f.blocks {
+        for s in &b.stmts {
+            match s {
+                Stmt::Check(c) => {
+                    if !c.is_unconditional() {
+                        out.conditional += 1;
+                    }
+                    let key = c.cond.family_key().clone();
+                    let e = out
+                        .families
+                        .entry(key)
+                        .or_insert((0, c.cond.bound(), c.cond.bound()));
+                    e.0 += 1;
+                    e.1 = e.1.min(c.cond.bound());
+                    e.2 = e.2.max(c.cond.bound());
+                }
+                Stmt::Trap { .. } => out.traps += 1,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Renders a before/after report for a whole program. `before` and
+/// `after` must be the same program pre- and post-optimization.
+pub fn report(before: &Program, after: &Program) -> String {
+    let mut out = String::new();
+    for (fb, fa) in before.functions.iter().zip(&after.functions) {
+        let cb = census(fb);
+        let ca = census(fa);
+        let total_before: usize = cb.families.values().map(|v| v.0).sum();
+        let total_after: usize = ca.families.values().map(|v| v.0).sum();
+        let _ = writeln!(
+            out,
+            "function {}: {} static checks -> {} ({} conditional, {} proven violations)",
+            fb.name, total_before, total_after, ca.conditional, ca.traps
+        );
+        // families fully discharged
+        let mut gone = 0;
+        for (form, (n, ..)) in &cb.families {
+            if !ca.families.contains_key(form) {
+                gone += 1;
+                if gone <= 8 {
+                    let name = nascent_ir::pretty::linform_to_string(fb, form);
+                    let _ = writeln!(out, "  discharged: {n} check(s) on `{name}`");
+                }
+            }
+        }
+        if gone > 8 {
+            let _ = writeln!(out, "  ... and {} more discharged families", gone - 8);
+        }
+        // families still present
+        for (form, (n, lo, hi)) in &ca.families {
+            let before_n = cb.families.get(form).map_or(0, |v| v.0);
+            let range = if lo == hi {
+                format!("<= {lo}")
+            } else {
+                format!("<= {lo}..{hi}")
+            };
+            let name = nascent_ir::pretty::linform_to_string(fa, form);
+            let _ = writeln!(
+                out,
+                "  remaining: `{name} {range}` x{n} (was x{before_n})"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize_program, OptimizeOptions, Scheme};
+    use nascent_frontend::compile;
+
+    #[test]
+    fn census_counts_families_and_bounds() {
+        let p = compile(
+            "program p\n integer a(1:10)\n integer i\n i = 1\n a(i) = 0\n a(i+3) = 0\nend\n",
+        )
+        .unwrap();
+        let c = census(&p.functions[0]);
+        // two families: {i} and {-i}; uppers have bounds 10 and 7
+        assert_eq!(c.families.len(), 2);
+        let upper = c
+            .families
+            .iter()
+            .find(|(form, _)| form.coeff_of_var(nascent_ir::VarId(0)) == 1)
+            .unwrap();
+        assert_eq!(upper.1 .0, 2); // two occurrences
+        assert_eq!(upper.1 .1, 7); // strongest
+        assert_eq!(upper.1 .2, 10); // weakest
+        assert_eq!(c.conditional, 0);
+        assert_eq!(c.traps, 0);
+    }
+
+    #[test]
+    fn report_shows_discharged_and_remaining() {
+        let src = "program p
+ integer a(1:100)
+ integer i
+ do i = 1, 50
+  a(i) = i
+ enddo
+end
+";
+        let before = compile(src).unwrap();
+        let mut after = compile(src).unwrap();
+        optimize_program(&mut after, &OptimizeOptions::scheme(Scheme::Lls));
+        let r = report(&before, &after);
+        assert!(r.contains("function p"), "{r}");
+        assert!(r.contains("conditional"), "{r}");
+        assert!(r.contains("static checks"), "{r}");
+    }
+
+    #[test]
+    fn report_flags_proven_violations() {
+        let src = "program p\n integer a(1:5)\n a(9) = 1\nend\n";
+        let before = compile(src).unwrap();
+        let mut after = compile(src).unwrap();
+        optimize_program(&mut after, &OptimizeOptions::scheme(Scheme::Ni));
+        let r = report(&before, &after);
+        assert!(r.contains("1 proven violations"), "{r}");
+    }
+}

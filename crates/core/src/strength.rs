@@ -1,0 +1,154 @@
+//! Check strengthening (Gupta's scheme, `CS` in Table 2).
+//!
+//! For each check `C`, compute the strongest anticipatable check `C'` in
+//! `C`'s family at the point of `C` (which implies `C`), and replace `C`
+//! by `C'`. The later, stronger occurrence then becomes redundant and is
+//! removed by the elimination step. This turns the paper's Figure 1(b)
+//! into Figure 1(c).
+
+use nascent_analysis::dataflow::solve;
+use nascent_ir::{Function, Stmt};
+
+use crate::dataflow::{antic_step, Antic};
+use crate::universe::Universe;
+use crate::{ImplicationMode, OptimizeStats};
+
+/// Strengthens check bounds in place; returns how many checks changed.
+///
+/// Iterates to a fixpoint (strengthening one check can enable
+/// strengthening an earlier one), which converges quickly because bounds
+/// only decrease within the finite set of program bounds.
+pub fn strengthen(
+    f: &mut Function,
+    mode: ImplicationMode,
+    stats: &mut OptimizeStats,
+) -> usize {
+    // strengthening substitutes a same-family implication; without
+    // within-family implications the transformation is a no-op
+    if mode != ImplicationMode::All {
+        return 0;
+    }
+    let mut total = 0;
+    for _round in 0..8 {
+        let changed = strengthen_round(f, stats);
+        total += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn strengthen_round(f: &mut Function, stats: &mut OptimizeStats) -> usize {
+    let u = Universe::build(f, ImplicationMode::All);
+    if u.is_empty() {
+        return 0;
+    }
+    let sol = solve(f, &Antic { u: &u });
+    stats.dataflow_iterations += sol.iterations;
+    let mut changed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // walk backward so each check sees the anticipatability fact that
+        // holds immediately after it
+        let mut fact = sol.exit[b.index()].clone();
+        let block = f.block_mut(b);
+        for s in block.stmts.iter_mut().rev() {
+            if let Stmt::Check(c) = s {
+                if c.is_unconditional() {
+                    let id = u.id(&c.cond).expect("check in universe");
+                    let fam = u.family_of[id];
+                    // strongest anticipatable bound in the same family
+                    let mut best = c.cond.bound();
+                    for d in fact.iter() {
+                        if u.family_of[d] == fam {
+                            best = best.min(u.checks[d].bound());
+                        }
+                    }
+                    if best < c.cond.bound() {
+                        c.cond = c.cond.with_bound(best);
+                        changed += 1;
+                    }
+                }
+            }
+            antic_step(&u, &mut fact, s);
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::eliminate;
+    use nascent_frontend::compile;
+    use nascent_ir::pretty::checks_to_strings;
+
+    /// The paper's Figure 1: strengthening C1 to C3 then eliminating.
+    #[test]
+    fn figure1_c_strengthen_then_eliminate() {
+        let mut p = compile(
+            "program fig1\n integer a(5:10)\n integer n\n n = 4\n a(2*n) = 0\n a(2*n - 1) = 1\nend\n",
+        )
+        .unwrap();
+        let mut stats = OptimizeStats::default();
+        let f = &mut p.functions[0];
+        let strengthened = strengthen(f, ImplicationMode::All, &mut stats);
+        assert_eq!(strengthened, 1, "C1 strengthened to C3's bound");
+        let removed = eliminate(f, ImplicationMode::All, &mut stats);
+        // C4 (implied by C2) and the original C3 (implied by strengthened
+        // C1) both go: Figure 1(c) keeps exactly two checks
+        assert_eq!(removed, 2);
+        assert_eq!(f.check_count(), 2);
+        let checks = checks_to_strings(f);
+        // remaining: the strengthened lower check (-2n <= -6) and C2
+        assert!(checks.iter().any(|(_, s)| s.contains("<= -6")));
+        assert!(checks.iter().any(|(_, s)| s.contains("<= 10")));
+    }
+
+    #[test]
+    fn strengthening_stops_at_kills() {
+        // n redefined between the two accesses: nothing to strengthen
+        let mut p = compile(
+            "program p\n integer a(5:10)\n integer n\n n = 4\n a(2*n) = 0\n n = 3\n a(2*n - 1) = 1\nend\n",
+        )
+        .unwrap();
+        let mut stats = OptimizeStats::default();
+        let s = strengthen(&mut p.functions[0], ImplicationMode::All, &mut stats);
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn branch_blocks_strengthening() {
+        // the stronger check happens on only one branch: not anticipatable
+        let mut p = compile(
+            "program p
+ integer a(1:10)
+ integer i, c
+ i = 5
+ c = 0
+ a(i) = 0
+ if (c > 0) then
+  a(i - 2) = 0
+ endif
+end
+",
+        )
+        .unwrap();
+        let mut stats = OptimizeStats::default();
+        let s = strengthen(&mut p.functions[0], ImplicationMode::All, &mut stats);
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn non_all_modes_are_noops() {
+        let mut p = compile(
+            "program fig1\n integer a(5:10)\n integer n\n n = 4\n a(2*n) = 0\n a(2*n - 1) = 1\nend\n",
+        )
+        .unwrap();
+        let mut stats = OptimizeStats::default();
+        assert_eq!(
+            strengthen(&mut p.functions[0], ImplicationMode::None, &mut stats),
+            0
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Structural tests for the lazy-code-motion placement on hand-crafted
+//! CFGs, checking *where* checks land (not just dynamic counts).
+
+use nascent_frontend::compile;
+use nascent_interp::{run, Limits};
+use nascent_ir::{pretty::checks_to_strings, Stmt, Terminator};
+use nascent_rangecheck::{
+    lcm::{insert, Placement},
+    elim::eliminate,
+    ImplicationMode, OptimizeStats,
+};
+
+fn checks_in_block(f: &nascent_ir::Function, b: nascent_ir::BlockId) -> usize {
+    f.block(b).stmts.iter().filter(|s| s.is_check()).count()
+}
+
+/// Diamond where both arms access the same element and the join accesses
+/// it again: SE must leave exactly one pair on each arm-entry path and
+/// none at the join.
+#[test]
+fn se_diamond_full_redundancy() {
+    let src = "program p
+ integer a(1:10)
+ integer i, c
+ c = 1
+ i = 2
+ if (c > 0) then
+  a(i) = 1
+ else
+  a(i) = 2
+ endif
+ a(i) = 3
+end
+";
+    let mut p = compile(src).unwrap();
+    let mut stats = OptimizeStats::default();
+    insert(
+        &mut p.functions[0],
+        Placement::SafeEarliest,
+        ImplicationMode::All,
+        &mut stats,
+    );
+    eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+    let f = &p.functions[0];
+    // total static checks after: exactly 2 (one pair before the branch)
+    assert_eq!(f.check_count(), 2, "{:?}", checks_to_strings(f));
+    // and they sit in the entry block (before the branch)
+    assert_eq!(checks_in_block(f, f.entry), 2);
+    // behavior preserved
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.output, naive.output);
+    assert_eq!(opt.dynamic_checks, 2);
+    assert_eq!(naive.dynamic_checks, 4);
+}
+
+/// One-armed redundancy: the check after the join is partially redundant;
+/// SE inserts on the empty arm so the join check dies.
+#[test]
+fn se_one_armed_partial_redundancy() {
+    let src = "program p
+ integer a(1:10)
+ integer i, c
+ c = 0
+ i = 2
+ if (c > 0) then
+  a(i) = 1
+ else
+  c = 5
+ endif
+ a(i) = 3
+end
+";
+    let mut p = compile(src).unwrap();
+    let mut stats = OptimizeStats::default();
+    let ins = insert(
+        &mut p.functions[0],
+        Placement::SafeEarliest,
+        ImplicationMode::All,
+        &mut stats,
+    );
+    let removed = eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+    assert!(ins >= 2, "else arm needs the pair inserted");
+    assert!(removed >= 2, "join pair becomes fully redundant");
+    // dynamically: exactly one pair executes on either path
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.dynamic_checks, 2);
+}
+
+/// Latest placement must not sink checks past their use and must still
+/// cover the join.
+#[test]
+fn latest_covers_without_regressing() {
+    let src = "program p
+ integer a(1:10)
+ integer i, c
+ c = 0
+ i = 2
+ if (c > 0) then
+  a(i) = 1
+ else
+  c = 5
+ endif
+ a(i) = 3
+end
+";
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let mut p = compile(src).unwrap();
+    let mut stats = OptimizeStats::default();
+    insert(
+        &mut p.functions[0],
+        Placement::Latest,
+        ImplicationMode::All,
+        &mut stats,
+    );
+    eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+    nascent_ir::validate::assert_valid(&p);
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.output, naive.output);
+    assert!(opt.dynamic_checks <= naive.dynamic_checks);
+}
+
+/// A kill (redefinition of the subscript variable) inside one arm blocks
+/// hoisting above the branch: SE must keep per-arm placement.
+#[test]
+fn kill_in_arm_blocks_hoisting() {
+    let src = "program p
+ integer a(1:10)
+ integer i, c
+ c = 1
+ i = 2
+ if (c > 0) then
+  i = 3
+  a(i) = 1
+ else
+  a(i) = 2
+ endif
+end
+";
+    let mut p = compile(src).unwrap();
+    let mut stats = OptimizeStats::default();
+    insert(
+        &mut p.functions[0],
+        Placement::SafeEarliest,
+        ImplicationMode::All,
+        &mut stats,
+    );
+    eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+    let f = &p.functions[0];
+    // nothing may sit before the branch: the then-arm redefines i
+    assert_eq!(
+        checks_in_block(f, f.entry),
+        0,
+        "{:?}",
+        checks_to_strings(f)
+    );
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.output, naive.output);
+    assert_eq!(opt.dynamic_checks, naive.dynamic_checks);
+}
+
+/// Loops: SE alone cannot hoist a loop-varying check out of the loop
+/// (no conditional checks in PRE), reproducing the paper's observation
+/// that preheader insertion is strictly stronger there.
+#[test]
+fn se_does_not_hoist_out_of_loops() {
+    let src = "program p
+ integer a(1:10)
+ integer i
+ do i = 1, 10
+  a(i) = i
+ enddo
+end
+";
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let mut p = compile(src).unwrap();
+    let mut stats = OptimizeStats::default();
+    insert(
+        &mut p.functions[0],
+        Placement::SafeEarliest,
+        ImplicationMode::All,
+        &mut stats,
+    );
+    eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(
+        opt.dynamic_checks, naive.dynamic_checks,
+        "SE has no conditional checks; the loop checks must stay"
+    );
+}
+
+/// Edge splitting keeps the CFG structurally valid on a branch-dense
+/// program.
+#[test]
+fn edge_splits_remain_valid() {
+    let src = "program p
+ integer a(1:20)
+ integer i, c
+ c = 2
+ i = 5
+ if (c > 0) then
+  if (c > 1) then
+   a(i) = 1
+  endif
+ else
+  a(i + 1) = 2
+ endif
+ a(i + 2) = 3
+ if (c > 2) then
+  a(i) = 4
+ endif
+end
+";
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let mut p = compile(src).unwrap();
+    let mut stats = OptimizeStats::default();
+    insert(
+        &mut p.functions[0],
+        Placement::SafeEarliest,
+        ImplicationMode::All,
+        &mut stats,
+    );
+    eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
+    nascent_ir::validate::assert_valid(&p);
+    // no dangling blocks: every block's terminator targets exist and the
+    // program still runs identically
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.output, naive.output);
+    assert!(opt.dynamic_checks <= naive.dynamic_checks);
+    // sanity on shape: at least one split block (jump-only) or prepend
+    let f = &p.functions[0];
+    let _ = f
+        .blocks
+        .iter()
+        .filter(|b| b.stmts.iter().all(Stmt::is_check) && matches!(b.term, Terminator::Jump(_)))
+        .count();
+}

@@ -1,0 +1,119 @@
+//! Scale and stress tests: the optimizer must stay fast and sound on
+//! programs far larger than the benchmark suite.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nascent_frontend::compile;
+use nascent_interp::{run, Limits};
+use nascent_rangecheck::{optimize_program, OptimizeOptions, Scheme};
+
+/// k loops x k distinct accesses: the check universe grows as k².
+fn wide_program(k: usize) -> String {
+    let n = 4 * k + 8;
+    let mut src = String::new();
+    let _ = writeln!(src, "program wide");
+    let _ = writeln!(src, " integer a({n})");
+    let _ = writeln!(src, " integer i");
+    for li in 0..k {
+        let _ = writeln!(src, " do i = 1, {}", n - k - 1);
+        for ai in 0..k {
+            let _ = writeln!(src, "  a(i + {}) = i + {li}", ai + 1);
+        }
+        let _ = writeln!(src, " enddo");
+    }
+    let _ = writeln!(src, " print a(1)");
+    let _ = writeln!(src, "end");
+    src
+}
+
+/// Deep nesting: d nested loops around one access.
+fn deep_program(d: usize) -> String {
+    let mut src = String::new();
+    let _ = writeln!(src, "program deep");
+    let _ = writeln!(src, " integer a(1:{})", 2 * d + 2);
+    let vars: Vec<String> = (0..d).map(|i| format!("i{i}")).collect();
+    let _ = writeln!(src, " integer {}", vars.join(", "));
+    for v in &vars {
+        let _ = writeln!(src, " do {v} = 1, 2");
+    }
+    let sum = vars.join(" + ");
+    let _ = writeln!(src, "  a({sum}) = 1");
+    for _ in &vars {
+        let _ = writeln!(src, " enddo");
+    }
+    let _ = writeln!(src, " print a({d})");
+    let _ = writeln!(src, "end");
+    src
+}
+
+#[test]
+fn wide_universe_optimizes_quickly_and_soundly() {
+    let src = wide_program(24); // 576 accesses, >1k distinct checks
+    let prog = compile(&src).unwrap();
+    let naive = run(&prog, &Limits::default()).unwrap();
+    for scheme in [Scheme::Ni, Scheme::Lls, Scheme::All] {
+        let t0 = Instant::now();
+        let mut p = prog.clone();
+        optimize_program(&mut p, &OptimizeOptions::scheme(scheme));
+        let took = t0.elapsed();
+        assert!(
+            took.as_secs_f64() < 20.0,
+            "{scheme:?} took {took:?} on the wide program"
+        );
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert_eq!(opt.output, naive.output, "{scheme:?}");
+        assert!(opt.dynamic_checks <= naive.dynamic_checks);
+    }
+}
+
+#[test]
+fn deep_nesting_hoists_to_the_top() {
+    let src = deep_program(8);
+    let prog = compile(&src).unwrap();
+    let naive = run(&prog, &Limits::default()).unwrap();
+    let mut p = prog.clone();
+    optimize_program(&mut p, &OptimizeOptions::scheme(Scheme::Lls));
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.output, naive.output);
+    // 2^8 = 256 iterations * 2 checks naive; hoisting multiplies the
+    // subscript's IV terms outward level by level
+    // 2^8 iterations * 2 checks + the final print's own 2 checks
+    assert_eq!(naive.dynamic_checks, 514);
+    assert!(
+        opt.dynamic_checks < naive.dynamic_checks / 4,
+        "got {}",
+        opt.dynamic_checks
+    );
+}
+
+#[test]
+fn many_functions_compile_and_optimize() {
+    // 60 subroutines, each with its own loop
+    let mut src = String::new();
+    for i in 0..60 {
+        let _ = writeln!(src, "subroutine s{i}(n, a)");
+        let _ = writeln!(src, " integer n, j");
+        let _ = writeln!(src, " real a(1:n)");
+        let _ = writeln!(src, " do j = 1, n");
+        let _ = writeln!(src, "  a(j) = a(j) + {i}.5");
+        let _ = writeln!(src, " enddo");
+        let _ = writeln!(src, "end");
+    }
+    let _ = writeln!(src, "program many");
+    let _ = writeln!(src, " real a(1:40)");
+    for i in 0..60 {
+        let _ = writeln!(src, " call s{i}(40, a)");
+    }
+    let _ = writeln!(src, " print a(1)");
+    let _ = writeln!(src, "end");
+    let prog = compile(&src).unwrap();
+    let naive = run(&prog, &Limits::default()).unwrap();
+    let mut p = prog.clone();
+    let stats = optimize_program(&mut p, &OptimizeOptions::scheme(Scheme::Lls));
+    assert!(stats.hoisted >= 120, "two checks per subroutine loop");
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.output, naive.output);
+    assert!(opt.dynamic_checks <= 122);
+    assert_eq!(naive.dynamic_checks, 60 * 40 * 4 + 2);
+}

@@ -1,0 +1,179 @@
+//! Abstract syntax tree for MiniF.
+
+/// A parsed source file: one or more units, at most one `program`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Compilation units in source order.
+    pub units: Vec<Unit>,
+}
+
+/// Unit kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitKind {
+    /// The main program.
+    Program,
+    /// A callable subroutine.
+    Subroutine,
+}
+
+/// One `program`/`subroutine` … `end` unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    /// Program or subroutine.
+    pub kind: UnitKind,
+    /// Unit name.
+    pub name: String,
+    /// Parameter names (types come from the declarations).
+    pub params: Vec<String>,
+    /// Named compile-time constants (`parameter n = 100`), in order.
+    pub consts: Vec<(String, i64, u32)>,
+    /// Declarations.
+    pub decls: Vec<Decl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// 1-based source line of the unit header.
+    pub line: u32,
+}
+
+/// Scalar type name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    /// `integer`
+    Integer,
+    /// `real`
+    Real,
+}
+
+/// A declaration line: `integer i, j` or `real a(1:10, 0:n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared type.
+    pub ty: TypeName,
+    /// Declared items.
+    pub items: Vec<DeclItem>,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One declared entity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclItem {
+    /// A scalar.
+    Scalar(String),
+    /// An array with `(lower, upper)` bounds per dimension. A bare extent
+    /// `a(n)` parses as bounds `(1, n)` following Fortran.
+    Array(String, Vec<(Expr, Expr)>),
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Elem(String, Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target = value`
+    Assign {
+        target: LValue,
+        value: Expr,
+        line: u32,
+    },
+    /// `do var = lo, hi [, step] … enddo`
+    Do {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    /// `while (cond) … endwhile`
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    /// `if (cond) then … [else …] endif`
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: u32,
+    },
+    /// `call name(args…)`
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    /// `print expr`
+    Print { value: Expr, line: u32 },
+    /// `exit` — leave the innermost enclosing loop.
+    Exit { line: u32 },
+    /// `cycle` — continue with the next iteration of the innermost loop.
+    Cycle { line: u32 },
+    /// `label name` — a jump target.
+    Label { name: String, line: u32 },
+    /// `goto name` — unconditional jump to a label in the same unit.
+    Goto { name: String, line: u32 },
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Min,
+    Max,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Scalar variable *or* (after name resolution) zero-arg ambiguity —
+    /// the parser cannot distinguish `n` the scalar from an array without
+    /// a symbol table, so `Name` covers scalars only; subscripted names
+    /// parse as [`Expr::Elem`].
+    Name(String),
+    /// `array(subscripts…)` — also the syntax for `min`/`max` intrinsics,
+    /// disambiguated during lowering.
+    Elem(String, Vec<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Builder for binary nodes.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+}

@@ -1,0 +1,65 @@
+//! Compile-time error reporting with source positions.
+
+use std::fmt;
+
+/// The broad phase in which a [`CompileError`] arose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Tokenization failure.
+    Lex,
+    /// Grammar violation.
+    Parse,
+    /// Name resolution, typing or structural rule violation.
+    Sema,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lex error"),
+            ErrorKind::Parse => write!(f, "parse error"),
+            ErrorKind::Sema => write!(f, "semantic error"),
+        }
+    }
+}
+
+/// A compilation failure with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Which phase failed.
+    pub kind: ErrorKind,
+    /// 1-based source line of the offending construct.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(kind: ErrorKind, line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            kind,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}: {}", self.kind, self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_kind_and_line() {
+        let e = CompileError::new(ErrorKind::Parse, 12, "expected enddo");
+        assert_eq!(e.to_string(), "parse error at line 12: expected enddo");
+    }
+}

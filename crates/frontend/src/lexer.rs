@@ -1,0 +1,303 @@
+//! Tokenizer for MiniF.
+//!
+//! `!` starts a comment running to end of line. Newlines are significant:
+//! they terminate statements (like Fortran's line orientation), so the
+//! lexer emits [`Tok::Newline`] tokens (collapsing runs).
+
+use crate::error::{CompileError, ErrorKind};
+
+/// A token kind plus any payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser;
+    /// identifiers are case-insensitive and stored lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `/=` (Fortran-90 spelling; `!` starts a comment)
+    Ne,
+    /// End of line (statement separator).
+    Newline,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes MiniF source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed numbers or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let push = |out: &mut Vec<Token>, tok: Tok, line: u32| out.push(Token { tok, line });
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                if !matches!(out.last(), None | Some(Token { tok: Tok::Newline, .. })) {
+                    push(&mut out, Tok::Newline, line);
+                }
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '!' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(&mut out, Tok::LParen, line);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Tok::RParen, line);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Tok::Comma, line);
+                i += 1;
+            }
+            ':' => {
+                push(&mut out, Tok::Colon, line);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, Tok::Plus, line);
+                i += 1;
+            }
+            '-' => {
+                push(&mut out, Tok::Minus, line);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, Tok::Star, line);
+                i += 1;
+            }
+            '/' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Ne, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Slash, line);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Le, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Lt, line);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Ge, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Gt, line);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::EqEq, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Assign, line);
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let is_real = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit();
+                if is_real {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v: f64 = text.parse().map_err(|_| {
+                        CompileError::new(ErrorKind::Lex, line, format!("bad real literal {text}"))
+                    })?;
+                    push(&mut out, Tok::Real(v), line);
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 = text.parse().map_err(|_| {
+                        CompileError::new(
+                            ErrorKind::Lex,
+                            line,
+                            format!("integer literal {text} out of range"),
+                        )
+                    })?;
+                    push(&mut out, Tok::Int(v), line);
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push(&mut out, Tok::Ident(src[start..i].to_ascii_lowercase()), line);
+            }
+            _ => {
+                // `!=` is handled here because bare `!` is a comment.
+                return Err(CompileError::new(
+                    ErrorKind::Lex,
+                    line,
+                    format!("unexpected character {c:?}"),
+                ));
+            }
+        }
+    }
+    if !matches!(out.last(), None | Some(Token { tok: Tok::Newline, .. })) {
+        out.push(Token {
+            tok: Tok::Newline,
+            line,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("a = b + 3"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::Plus,
+                Tok::Int(3),
+                Tok::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_collapse() {
+        let ts = toks("x = 1 ! set x\n\n\ny = 2");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Ident("y".into()),
+                Tok::Assign,
+                Tok::Int(2),
+                Tok::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <= b >= c < d > e == f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Ident("c".into()),
+                Tok::Lt,
+                Tok::Ident("d".into()),
+                Tok::Gt,
+                Tok::Ident("e".into()),
+                Tok::EqEq,
+                Tok::Ident("f".into()),
+                Tok::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn real_literals() {
+        assert_eq!(toks("x = 1.5"), vec![
+            Tok::Ident("x".into()),
+            Tok::Assign,
+            Tok::Real(1.5),
+            Tok::Newline
+        ]);
+        // `3.` without following digit stays an int + lex error on '.'
+        assert!(lex("x = 3.z").is_err());
+    }
+
+    #[test]
+    fn identifiers_are_case_insensitive() {
+        assert_eq!(toks("DO I = 1, N")[1], Tok::Ident("i".into()));
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let ts = lex("a = 1\nb = 2").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[4].line, 2);
+    }
+
+    #[test]
+    fn huge_int_is_error() {
+        assert!(lex("x = 99999999999999999999999").is_err());
+    }
+}

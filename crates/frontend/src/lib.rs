@@ -1,0 +1,73 @@
+//! MiniF — a small Fortran-like source language for the `nascent-rc`
+//! range-check optimizer.
+//!
+//! The paper evaluates on Fortran programs compiled by the authors' Nascent
+//! compiler; MiniF reproduces the relevant subset: `program`/`subroutine`
+//! units, `integer`/`real` scalars and multi-dimensional arrays with
+//! declared (possibly symbolic) bounds, counted `do` loops, `while` loops,
+//! `if`/`else`, subroutine calls, and `print`.
+//!
+//! Lowering produces the [`nascent_ir`] CFG and inserts one lower-bound and
+//! one upper-bound canonical range check per subscript per dimension —
+//! the "naive range checking" baseline of Table 1.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! program p
+//!   integer a(1:10)
+//!   integer i
+//!   do i = 1, 10
+//!     a(i) = 2 * i
+//!   enddo
+//! end
+//! "#;
+//! let prog = nascent_frontend::compile(src).expect("valid program");
+//! // 1 store * 2 checks (lower + upper)
+//! assert_eq!(prog.check_count(), 2);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use error::{CompileError, ErrorKind};
+
+use nascent_ir::Program;
+
+/// Whether lowering inserts naive range checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckInsertion {
+    /// Insert a lower and an upper check before every array access (the
+    /// paper's unoptimized baseline).
+    #[default]
+    Naive,
+    /// Insert no checks (used for the "instructions without range
+    /// checking" columns of Table 1).
+    None,
+}
+
+/// Compiles MiniF source to IR with naive range checks.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic or
+/// semantic problem found.
+pub fn compile(src: &str) -> Result<Program, CompileError> {
+    compile_with(src, CheckInsertion::Naive)
+}
+
+/// Compiles MiniF source with explicit control over check insertion.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic or
+/// semantic problem found.
+pub fn compile_with(src: &str, checks: CheckInsertion) -> Result<Program, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::parse(&tokens)?;
+    lower::lower(&ast, checks)
+}

@@ -1,0 +1,968 @@
+//! Semantic analysis and lowering of the MiniF AST to [`nascent_ir`].
+//!
+//! Lowering flattens array reads into `Load` statements so every array
+//! access is a statement, and (when requested) inserts the naive range
+//! checks: one lower-bound and one upper-bound canonical check per
+//! subscript per dimension, immediately before the access.
+//!
+//! Semantic rules enforced here (deviations from full Fortran are noted in
+//! `DESIGN.md`):
+//!
+//! * every name must be declared; parameters are declared like locals;
+//! * array bounds in the main program must be compile-time constants;
+//!   in subroutines they may also reference scalar parameters;
+//! * any variable appearing in an array bound is *bound-frozen*: assigning
+//!   to it anywhere in the unit is an error (this keeps the canonical
+//!   checks, which mention the bound symbolically, consistent with the
+//!   array extents frozen at function entry);
+//! * `do` steps must be non-zero integer constants;
+//! * the loop variable of an active `do` cannot be assigned;
+//! * subscripts and conditions must be integer-typed; `real` values cannot
+//!   be assigned to integer targets.
+
+use std::collections::{HashMap, HashSet};
+
+use nascent_ir as ir;
+use nascent_ir::{
+    Arg, ArrayId, ArrayInfo, Block, BlockId, Check, CheckExpr, Function, Param, Program, Stmt,
+    Terminator, Ty, VarId, VarInfo,
+};
+
+use crate::ast;
+use crate::error::{CompileError, ErrorKind};
+use crate::CheckInsertion;
+
+/// Lowers a parsed source file to an IR program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for any semantic rule violation.
+pub fn lower(file: &ast::SourceFile, checks: CheckInsertion) -> Result<Program, CompileError> {
+    // pass 1: unit signatures
+    let mut sigs: HashMap<String, (ir::FuncId, Vec<ParamSig>, ast::UnitKind)> = HashMap::new();
+    let mut main: Option<ir::FuncId> = None;
+    for (i, u) in file.units.iter().enumerate() {
+        let id = ir::FuncId(i as u32);
+        if sigs.contains_key(&u.name) {
+            return Err(err(u.line, format!("duplicate unit name `{}`", u.name)));
+        }
+        if u.kind == ast::UnitKind::Program {
+            if main.is_some() {
+                return Err(err(u.line, "multiple `program` units"));
+            }
+            main = Some(id);
+        }
+        sigs.insert(u.name.clone(), (id, param_sigs(u)?, u.kind));
+    }
+    let main = main.ok_or_else(|| err(1, "no `program` unit"))?;
+    // pass 2: lower each unit
+    let mut functions = Vec::with_capacity(file.units.len());
+    for u in &file.units {
+        functions.push(Lowerer::new(u, &sigs, checks)?.lower_unit()?);
+    }
+    Ok(Program { functions, main })
+}
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(ErrorKind::Sema, line, msg)
+}
+
+/// Parameter kind signature used for call checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParamSig {
+    Scalar(Ty),
+    Array { rank: usize },
+}
+
+fn param_sigs(u: &ast::Unit) -> Result<Vec<ParamSig>, CompileError> {
+    let mut sigs = Vec::new();
+    'params: for p in &u.params {
+        for d in &u.decls {
+            for item in &d.items {
+                match item {
+                    ast::DeclItem::Scalar(n) if n == p => {
+                        sigs.push(ParamSig::Scalar(conv_ty(d.ty)));
+                        continue 'params;
+                    }
+                    ast::DeclItem::Array(n, dims) if n == p => {
+                        sigs.push(ParamSig::Array { rank: dims.len() });
+                        continue 'params;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        return Err(err(u.line, format!("parameter `{p}` is not declared")));
+    }
+    Ok(sigs)
+}
+
+fn conv_ty(t: ast::TypeName) -> Ty {
+    match t {
+        ast::TypeName::Integer => Ty::Int,
+        ast::TypeName::Real => Ty::Real,
+    }
+}
+
+struct Lowerer<'a> {
+    unit: &'a ast::Unit,
+    sigs: &'a HashMap<String, (ir::FuncId, Vec<ParamSig>, ast::UnitKind)>,
+    checks: CheckInsertion,
+    func: Function,
+    scalars: HashMap<String, VarId>,
+    arrays: HashMap<String, ArrayId>,
+    frozen: HashSet<VarId>,
+    active_loop_vars: Vec<VarId>,
+    /// `(cycle target, exit target)` of each enclosing loop, innermost
+    /// last. `cycle` jumps to the do-latch (so the increment runs) or the
+    /// while-header (so the condition re-tests); `exit` jumps past the
+    /// loop.
+    loop_ctx: Vec<(BlockId, BlockId)>,
+    /// Blocks allocated for `label` names (on first definition or use).
+    labels: HashMap<String, BlockId>,
+    /// Label names that have been *defined* (a `label` statement seen).
+    defined_labels: HashSet<String>,
+    /// Named compile-time constants (`parameter` declarations).
+    consts: HashMap<String, i64>,
+    temp_count: usize,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(
+        unit: &'a ast::Unit,
+        sigs: &'a HashMap<String, (ir::FuncId, Vec<ParamSig>, ast::UnitKind)>,
+        checks: CheckInsertion,
+    ) -> Result<Lowerer<'a>, CompileError> {
+        let mut consts = HashMap::new();
+        for (name, v, line) in &unit.consts {
+            if consts.insert(name.clone(), *v).is_some() {
+                return Err(err(*line, format!("parameter `{name}` defined twice")));
+            }
+        }
+        Ok(Lowerer {
+            unit,
+            sigs,
+            checks,
+            func: Function::new(unit.name.clone()),
+            scalars: HashMap::new(),
+            arrays: HashMap::new(),
+            frozen: HashSet::new(),
+            active_loop_vars: Vec::new(),
+            loop_ctx: Vec::new(),
+            labels: HashMap::new(),
+            defined_labels: HashSet::new(),
+            consts,
+            temp_count: 0,
+        })
+    }
+
+    fn lower_unit(mut self) -> Result<Function, CompileError> {
+        self.declare_all()?;
+        self.bind_params()?;
+        let mut cur = self.func.entry;
+        for s in &self.unit.body {
+            cur = self.stmt(cur, s)?;
+        }
+        self.func.block_mut(cur).term = Terminator::Return;
+        // every referenced label must have been defined
+        for name in self.labels.keys() {
+            if !self.defined_labels.contains(name) {
+                return Err(err(
+                    self.unit.line,
+                    format!("goto to undefined label `{name}`"),
+                ));
+            }
+        }
+        Ok(self.func)
+    }
+
+    /// The block for a label, allocated on first sight.
+    fn label_block(&mut self, name: &str) -> BlockId {
+        if let Some(&b) = self.labels.get(name) {
+            return b;
+        }
+        let b = self.func.add_block(Block::default());
+        self.labels.insert(name.to_string(), b);
+        b
+    }
+
+    // ---- declarations ------------------------------------------------
+
+    fn declare_all(&mut self) -> Result<(), CompileError> {
+        // scalars first so array bounds can reference them
+        for d in &self.unit.decls {
+            for item in &d.items {
+                if let ast::DeclItem::Scalar(name) = item {
+                    self.declare_scalar(d.line, name, conv_ty(d.ty))?;
+                }
+            }
+        }
+        for d in &self.unit.decls {
+            for item in &d.items {
+                if let ast::DeclItem::Array(name, dims) = item {
+                    self.declare_array(d.line, name, conv_ty(d.ty), dims)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_scalar(&mut self, line: u32, name: &str, ty: Ty) -> Result<VarId, CompileError> {
+        if self.scalars.contains_key(name)
+            || self.arrays.contains_key(name)
+            || self.consts.contains_key(name)
+        {
+            return Err(err(line, format!("`{name}` declared twice")));
+        }
+        let id = VarId(self.func.vars.len() as u32);
+        self.func.vars.push(VarInfo {
+            name: name.to_string(),
+            ty,
+        });
+        self.scalars.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn declare_array(
+        &mut self,
+        line: u32,
+        name: &str,
+        ty: Ty,
+        dims: &[(ast::Expr, ast::Expr)],
+    ) -> Result<(), CompileError> {
+        if self.scalars.contains_key(name)
+            || self.arrays.contains_key(name)
+            || self.consts.contains_key(name)
+        {
+            return Err(err(line, format!("`{name}` declared twice")));
+        }
+        if dims.is_empty() {
+            return Err(err(line, format!("array `{name}` has no dimensions")));
+        }
+        let mut ir_dims = Vec::with_capacity(dims.len());
+        for (lo, hi) in dims {
+            let lo = self.lower_bound_expr(line, name, lo)?;
+            let hi = self.lower_bound_expr(line, name, hi)?;
+            ir_dims.push((lo, hi));
+        }
+        let id = ArrayId(self.func.arrays.len() as u32);
+        self.func.arrays.push(ArrayInfo {
+            name: name.to_string(),
+            ty,
+            dims: ir_dims,
+        });
+        self.arrays.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Lowers an array-bound expression. Bounds are pure scalar-integer
+    /// expressions; in the main program they must fold to constants, and
+    /// every variable they mention becomes bound-frozen.
+    fn lower_bound_expr(
+        &mut self,
+        line: u32,
+        array: &str,
+        e: &ast::Expr,
+    ) -> Result<ir::Expr, CompileError> {
+        let lowered = self.pure_int_expr(line, e)?;
+        let folded = lowered.fold();
+        if self.unit.kind == ast::UnitKind::Program && folded.as_int().is_none() {
+            return Err(err(
+                line,
+                format!("bounds of `{array}` in the main program must be constant"),
+            ));
+        }
+        for v in folded.vars() {
+            self.frozen.insert(v);
+        }
+        Ok(folded)
+    }
+
+    /// Lowers an expression that must not contain array reads (bounds,
+    /// steps) and must be integer-typed.
+    fn pure_int_expr(&mut self, line: u32, e: &ast::Expr) -> Result<ir::Expr, CompileError> {
+        match e {
+            ast::Expr::Int(v) => Ok(ir::Expr::int(*v)),
+            ast::Expr::Real(_) => Err(err(line, "real value where integer expected")),
+            ast::Expr::Name(n) => {
+                if let Some(&c) = self.consts.get(n) {
+                    return Ok(ir::Expr::int(c));
+                }
+                let v = self.lookup_scalar(line, n)?;
+                if self.func.vars[v.index()].ty != Ty::Int {
+                    return Err(err(line, format!("`{n}` must be integer here")));
+                }
+                Ok(ir::Expr::var(v))
+            }
+            ast::Expr::Elem(name, args) if matches!(name.as_str(), "min" | "max" | "mod") => {
+                let (l, r) = two_args(line, name, args)?;
+                let l = self.pure_int_expr(line, l)?;
+                let r = self.pure_int_expr(line, r)?;
+                Ok(ir::Expr::bin(intrinsic_op(name), l, r))
+            }
+            ast::Expr::Elem(name, _) => Err(err(
+                line,
+                format!("array read of `{name}` not allowed in bounds"),
+            )),
+            ast::Expr::Un(op, inner) => {
+                let inner = self.pure_int_expr(line, inner)?;
+                Ok(ir::Expr::Unary(conv_unop(*op), Box::new(inner)))
+            }
+            ast::Expr::Bin(op, l, r) => {
+                let l = self.pure_int_expr(line, l)?;
+                let r = self.pure_int_expr(line, r)?;
+                Ok(ir::Expr::bin(conv_binop(*op), l, r))
+            }
+        }
+    }
+
+    fn bind_params(&mut self) -> Result<(), CompileError> {
+        for p in &self.unit.params {
+            if let Some(&v) = self.scalars.get(p) {
+                self.func.params.push(Param::Scalar(v));
+            } else if let Some(&a) = self.arrays.get(p) {
+                self.func.params.push(Param::Array(a));
+            } else {
+                unreachable!("param_sigs already checked declarations");
+            }
+        }
+        Ok(())
+    }
+
+    // ---- names -------------------------------------------------------
+
+    fn lookup_scalar(&self, line: u32, name: &str) -> Result<VarId, CompileError> {
+        if let Some(&v) = self.scalars.get(name) {
+            Ok(v)
+        } else if self.arrays.contains_key(name) {
+            Err(err(line, format!("array `{name}` used without subscripts")))
+        } else if self.consts.contains_key(name) {
+            Err(err(
+                line,
+                format!("`{name}` is a named constant and cannot be used here"),
+            ))
+        } else {
+            Err(err(line, format!("`{name}` is not declared")))
+        }
+    }
+
+    fn fresh_temp(&mut self, ty: Ty) -> VarId {
+        let id = VarId(self.func.vars.len() as u32);
+        self.func.vars.push(VarInfo {
+            name: format!("%t{}", self.temp_count),
+            ty,
+        });
+        self.temp_count += 1;
+        id
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.func.add_block(Block::default())
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Lowers an expression, emitting loads (and their checks) into `cur`.
+    /// Returns the IR expression and its type.
+    fn expr(
+        &mut self,
+        cur: BlockId,
+        line: u32,
+        e: &ast::Expr,
+    ) -> Result<(ir::Expr, Ty), CompileError> {
+        match e {
+            ast::Expr::Int(v) => Ok((ir::Expr::int(*v), Ty::Int)),
+            ast::Expr::Real(v) => Ok((ir::Expr::real(*v), Ty::Real)),
+            ast::Expr::Name(n) => {
+                if let Some(&c) = self.consts.get(n) {
+                    return Ok((ir::Expr::int(c), Ty::Int));
+                }
+                let v = self.lookup_scalar(line, n)?;
+                Ok((ir::Expr::var(v), self.func.vars[v.index()].ty))
+            }
+            ast::Expr::Elem(name, args) if matches!(name.as_str(), "min" | "max" | "mod") => {
+                let (l, r) = two_args(line, name, args)?;
+                let (l, lt) = self.expr(cur, line, l)?;
+                let (r, rt) = self.expr(cur, line, r)?;
+                if name == "mod" && (lt != Ty::Int || rt != Ty::Int) {
+                    return Err(err(line, "`mod` requires integer operands"));
+                }
+                let ty = if lt == Ty::Real || rt == Ty::Real {
+                    Ty::Real
+                } else {
+                    Ty::Int
+                };
+                Ok((ir::Expr::bin(intrinsic_op(name), l, r), ty))
+            }
+            ast::Expr::Elem(name, subs) => {
+                let array = *self
+                    .arrays
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("`{name}` is not a declared array")))?;
+                let index = self.subscripts(cur, line, array, subs)?;
+                self.emit_checks(cur, array, &index);
+                let ty = self.func.arrays[array.index()].ty;
+                let t = self.fresh_temp(ty);
+                self.func
+                    .block_mut(cur)
+                    .stmts
+                    .push(Stmt::load(t, array, index));
+                Ok((ir::Expr::var(t), ty))
+            }
+            ast::Expr::Un(op, inner) => {
+                let (inner, ty) = self.expr(cur, line, inner)?;
+                if *op == ast::UnOp::Not && ty != Ty::Int {
+                    return Err(err(line, "`not` requires an integer operand"));
+                }
+                Ok((ir::Expr::Unary(conv_unop(*op), Box::new(inner)), ty))
+            }
+            ast::Expr::Bin(op, l, r) => {
+                let (l, lt) = self.expr(cur, line, l)?;
+                let (r, rt) = self.expr(cur, line, r)?;
+                let irop = conv_binop(*op);
+                let ty = if irop.is_comparison()
+                    || matches!(irop, ir::BinOp::And | ir::BinOp::Or)
+                {
+                    Ty::Int
+                } else if lt == Ty::Real || rt == Ty::Real {
+                    Ty::Real
+                } else {
+                    Ty::Int
+                };
+                if matches!(irop, ir::BinOp::And | ir::BinOp::Or | ir::BinOp::Mod)
+                    && (lt != Ty::Int || rt != Ty::Int)
+                {
+                    return Err(err(line, "logical/mod operators require integers"));
+                }
+                Ok((ir::Expr::bin(irop, l, r), ty))
+            }
+        }
+    }
+
+    /// Lowers subscripts, enforcing integer type and matching rank.
+    fn subscripts(
+        &mut self,
+        cur: BlockId,
+        line: u32,
+        array: ArrayId,
+        subs: &[ast::Expr],
+    ) -> Result<Vec<ir::Expr>, CompileError> {
+        let info = &self.func.arrays[array.index()];
+        let name = info.name.clone();
+        let rank = info.rank();
+        if subs.len() != rank {
+            return Err(err(
+                line,
+                format!(
+                    "array `{name}` has rank {rank} but {} subscripts given",
+                    subs.len()
+                ),
+            ));
+        }
+        let mut out = Vec::with_capacity(subs.len());
+        for s in subs {
+            let (e, ty) = self.expr(cur, line, s)?;
+            if ty != Ty::Int {
+                return Err(err(line, format!("subscript of `{name}` must be integer")));
+            }
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    /// Emits the naive lower/upper canonical checks for an access.
+    fn emit_checks(&mut self, cur: BlockId, array: ArrayId, index: &[ir::Expr]) {
+        if self.checks == CheckInsertion::None {
+            return;
+        }
+        let dims = self.func.arrays[array.index()].dims.clone();
+        for (idx, (lo, hi)) in index.iter().zip(dims.iter()) {
+            let lower = Check::unconditional(CheckExpr::lower(idx, lo));
+            let upper = Check::unconditional(CheckExpr::upper(idx, hi));
+            let b = self.func.block_mut(cur);
+            b.stmts.push(Stmt::Check(lower));
+            b.stmts.push(Stmt::Check(upper));
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    /// Lowers one statement starting in `cur`, returning the block where
+    /// control continues.
+    fn stmt(&mut self, cur: BlockId, s: &ast::Stmt) -> Result<BlockId, CompileError> {
+        match s {
+            ast::Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
+                match target {
+                    ast::LValue::Var(name) => {
+                        let v = self.lookup_scalar(*line, name)?;
+                        if self.frozen.contains(&v) {
+                            return Err(err(
+                                *line,
+                                format!("`{name}` appears in array bounds and cannot be assigned"),
+                            ));
+                        }
+                        if self.active_loop_vars.contains(&v) {
+                            return Err(err(
+                                *line,
+                                format!("loop variable `{name}` cannot be assigned in its loop"),
+                            ));
+                        }
+                        let (e, ty) = self.expr(cur, *line, value)?;
+                        let vt = self.func.vars[v.index()].ty;
+                        if vt == Ty::Int && ty == Ty::Real {
+                            return Err(err(*line, "cannot assign real to integer"));
+                        }
+                        self.func.block_mut(cur).stmts.push(Stmt::assign(v, e));
+                    }
+                    ast::LValue::Elem(name, subs) => {
+                        let array = *self
+                            .arrays
+                            .get(name)
+                            .ok_or_else(|| err(*line, format!("`{name}` is not a declared array")))?;
+                        let index = self.subscripts(cur, *line, array, subs)?;
+                        let (e, ty) = self.expr(cur, *line, value)?;
+                        let at = self.func.arrays[array.index()].ty;
+                        if at == Ty::Int && ty == Ty::Real {
+                            return Err(err(*line, "cannot assign real to integer array"));
+                        }
+                        self.emit_checks(cur, array, &index);
+                        self.func
+                            .block_mut(cur)
+                            .stmts
+                            .push(Stmt::store(array, index, e));
+                    }
+                }
+                Ok(cur)
+            }
+            ast::Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                line,
+            } => {
+                let v = self.lookup_scalar(*line, var)?;
+                if self.func.vars[v.index()].ty != Ty::Int {
+                    return Err(err(*line, format!("loop variable `{var}` must be integer")));
+                }
+                if self.frozen.contains(&v) {
+                    return Err(err(*line, format!("`{var}` is bound-frozen")));
+                }
+                if self.active_loop_vars.contains(&v) {
+                    return Err(err(*line, format!("`{var}` is already a loop variable")));
+                }
+                let step_val = match step {
+                    None => 1,
+                    Some(e) => {
+                        let lowered = self.pure_int_expr(*line, e)?.fold();
+                        match lowered.as_int() {
+                            Some(0) => return Err(err(*line, "do step cannot be zero")),
+                            Some(v) => v,
+                            None => {
+                                return Err(err(*line, "do step must be an integer constant"))
+                            }
+                        }
+                    }
+                };
+                let (lo_e, lo_t) = self.expr(cur, *line, lo)?;
+                let (hi_e, hi_t) = self.expr(cur, *line, hi)?;
+                if lo_t != Ty::Int || hi_t != Ty::Int {
+                    return Err(err(*line, "do bounds must be integer"));
+                }
+                // evaluate the limit once (Fortran trip-count semantics)
+                let limit = if hi_e.as_int().is_some() {
+                    hi_e
+                } else {
+                    let lv = self.fresh_temp(Ty::Int);
+                    self.func.block_mut(cur).stmts.push(Stmt::assign(lv, hi_e));
+                    ir::Expr::var(lv)
+                };
+                self.func.block_mut(cur).stmts.push(Stmt::assign(v, lo_e));
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                let latch = self.new_block();
+                self.func.block_mut(cur).term = Terminator::Jump(header);
+                let cmp = if step_val > 0 { ir::BinOp::Le } else { ir::BinOp::Ge };
+                self.func.block_mut(header).term = Terminator::Branch {
+                    cond: ir::Expr::bin(cmp, ir::Expr::var(v), limit),
+                    then_bb: body_bb,
+                    else_bb: exit,
+                };
+                self.active_loop_vars.push(v);
+                self.loop_ctx.push((latch, exit));
+                let mut bcur = body_bb;
+                for s in body {
+                    bcur = self.stmt(bcur, s)?;
+                }
+                self.loop_ctx.pop();
+                self.active_loop_vars.pop();
+                self.func.block_mut(bcur).term = Terminator::Jump(latch);
+                self.func.block_mut(latch).stmts.push(Stmt::assign(
+                    v,
+                    ir::Expr::add(ir::Expr::var(v), ir::Expr::int(step_val)),
+                ));
+                self.func.block_mut(latch).term = Terminator::Jump(header);
+                Ok(exit)
+            }
+            ast::Stmt::While { cond, body, line } => {
+                let header = self.new_block();
+                self.func.block_mut(cur).term = Terminator::Jump(header);
+                let (c, ct) = self.expr(header, *line, cond)?;
+                if ct != Ty::Int {
+                    return Err(err(*line, "while condition must be integer (logical)"));
+                }
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.func.block_mut(header).term = Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                };
+                self.loop_ctx.push((header, exit));
+                let mut bcur = body_bb;
+                for s in body {
+                    bcur = self.stmt(bcur, s)?;
+                }
+                self.loop_ctx.pop();
+                self.func.block_mut(bcur).term = Terminator::Jump(header);
+                Ok(exit)
+            }
+            ast::Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
+                let (c, ct) = self.expr(cur, *line, cond)?;
+                if ct != Ty::Int {
+                    return Err(err(*line, "if condition must be integer (logical)"));
+                }
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.func.block_mut(cur).term = Terminator::Branch {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                };
+                let mut tcur = then_bb;
+                for s in then_body {
+                    tcur = self.stmt(tcur, s)?;
+                }
+                self.func.block_mut(tcur).term = Terminator::Jump(join);
+                let mut ecur = else_bb;
+                for s in else_body {
+                    ecur = self.stmt(ecur, s)?;
+                }
+                self.func.block_mut(ecur).term = Terminator::Jump(join);
+                Ok(join)
+            }
+            ast::Stmt::Call { name, args, line } => {
+                let (callee, sigs, kind) = self
+                    .sigs
+                    .get(name)
+                    .ok_or_else(|| err(*line, format!("no subroutine named `{name}`")))?
+                    .clone();
+                if kind == ast::UnitKind::Program {
+                    return Err(err(
+                        *line,
+                        format!("`{name}` is the main program and cannot be called"),
+                    ));
+                }
+                if sigs.len() != args.len() {
+                    return Err(err(
+                        *line,
+                        format!(
+                            "`{name}` takes {} arguments, {} given",
+                            sigs.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let mut ir_args = Vec::with_capacity(args.len());
+                for (a, sig) in args.iter().zip(sigs.iter()) {
+                    match sig {
+                        ParamSig::Array { rank } => match a {
+                            ast::Expr::Name(an) => {
+                                let arr = *self.arrays.get(an).ok_or_else(|| {
+                                    err(*line, format!("argument `{an}` must be an array"))
+                                })?;
+                                if self.func.arrays[arr.index()].rank() != *rank {
+                                    return Err(err(
+                                        *line,
+                                        format!("array argument `{an}` has the wrong rank"),
+                                    ));
+                                }
+                                ir_args.push(Arg::Array(arr));
+                            }
+                            _ => {
+                                return Err(err(
+                                    *line,
+                                    format!("`{name}` expects an array name here"),
+                                ))
+                            }
+                        },
+                        ParamSig::Scalar(pt) => {
+                            let (e, ty) = self.expr(cur, *line, a)?;
+                            if *pt == Ty::Int && ty == Ty::Real {
+                                return Err(err(*line, "cannot pass real to integer parameter"));
+                            }
+                            ir_args.push(Arg::Scalar(e));
+                        }
+                    }
+                }
+                self.func
+                    .block_mut(cur)
+                    .stmts
+                    .push(Stmt::Call {
+                        callee,
+                        args: ir_args,
+                    });
+                Ok(cur)
+            }
+            ast::Stmt::Print { value, line } => {
+                let (e, _) = self.expr(cur, *line, value)?;
+                self.func.block_mut(cur).stmts.push(Stmt::Emit(e));
+                Ok(cur)
+            }
+            ast::Stmt::Exit { line } => {
+                let &(_, exit) = self
+                    .loop_ctx
+                    .last()
+                    .ok_or_else(|| err(*line, "`exit` outside of a loop"))?;
+                self.func.block_mut(cur).term = Terminator::Jump(exit);
+                // continue lowering into an unreachable block so any code
+                // after `exit` still type-checks
+                Ok(self.new_block())
+            }
+            ast::Stmt::Cycle { line } => {
+                let &(next, _) = self
+                    .loop_ctx
+                    .last()
+                    .ok_or_else(|| err(*line, "`cycle` outside of a loop"))?;
+                self.func.block_mut(cur).term = Terminator::Jump(next);
+                Ok(self.new_block())
+            }
+            ast::Stmt::Label { name, line } => {
+                if !self.defined_labels.insert(name.clone()) {
+                    return Err(err(*line, format!("label `{name}` defined twice")));
+                }
+                let target = self.label_block(name);
+                self.func.block_mut(cur).term = Terminator::Jump(target);
+                Ok(target)
+            }
+            ast::Stmt::Goto { name, .. } => {
+                let target = self.label_block(name);
+                self.func.block_mut(cur).term = Terminator::Jump(target);
+                Ok(self.new_block())
+            }
+        }
+    }
+}
+
+fn two_args<'e>(
+    line: u32,
+    name: &str,
+    args: &'e [ast::Expr],
+) -> Result<(&'e ast::Expr, &'e ast::Expr), CompileError> {
+    if args.len() != 2 {
+        return Err(err(line, format!("`{name}` takes exactly two arguments")));
+    }
+    Ok((&args[0], &args[1]))
+}
+
+fn intrinsic_op(name: &str) -> ir::BinOp {
+    match name {
+        "min" => ir::BinOp::Min,
+        "max" => ir::BinOp::Max,
+        "mod" => ir::BinOp::Mod,
+        _ => unreachable!("not an intrinsic: {name}"),
+    }
+}
+
+fn conv_unop(op: ast::UnOp) -> ir::UnOp {
+    match op {
+        ast::UnOp::Neg => ir::UnOp::Neg,
+        ast::UnOp::Not => ir::UnOp::Not,
+    }
+}
+
+fn conv_binop(op: ast::BinOp) -> ir::BinOp {
+    match op {
+        ast::BinOp::Add => ir::BinOp::Add,
+        ast::BinOp::Sub => ir::BinOp::Sub,
+        ast::BinOp::Mul => ir::BinOp::Mul,
+        ast::BinOp::Div => ir::BinOp::Div,
+        ast::BinOp::Mod => ir::BinOp::Mod,
+        ast::BinOp::Min => ir::BinOp::Min,
+        ast::BinOp::Max => ir::BinOp::Max,
+        ast::BinOp::Lt => ir::BinOp::Lt,
+        ast::BinOp::Le => ir::BinOp::Le,
+        ast::BinOp::Gt => ir::BinOp::Gt,
+        ast::BinOp::Ge => ir::BinOp::Ge,
+        ast::BinOp::Eq => ir::BinOp::Eq,
+        ast::BinOp::Ne => ir::BinOp::Ne,
+        ast::BinOp::And => ir::BinOp::And,
+        ast::BinOp::Or => ir::BinOp::Or,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile, compile_with, CheckInsertion};
+    use nascent_ir::validate::assert_valid;
+    use nascent_ir::Stmt;
+
+    #[test]
+    fn lowers_simple_program_with_checks() {
+        let p = compile(
+            "program p\n integer a(1:10)\n integer i\n do i = 1, 10\n a(i) = i\n enddo\nend\n",
+        )
+        .unwrap();
+        assert_valid(&p);
+        assert_eq!(p.check_count(), 2);
+    }
+
+    #[test]
+    fn check_free_compilation() {
+        let p = compile_with(
+            "program p\n integer a(1:10)\n integer i\n do i = 1, 10\n a(i) = i\n enddo\nend\n",
+            CheckInsertion::None,
+        )
+        .unwrap();
+        assert_eq!(p.check_count(), 0);
+    }
+
+    #[test]
+    fn two_dim_access_gets_four_checks() {
+        let p = compile(
+            "program p\n integer a(1:4, 0:5)\n integer i\n i = 2\n a(i, i) = 9\nend\n",
+        )
+        .unwrap();
+        assert_eq!(p.check_count(), 4);
+    }
+
+    #[test]
+    fn array_read_in_expression_flattens_to_load() {
+        let p = compile(
+            "program p\n integer a(1:10)\n integer i, x\n i = 1\n x = a(i) + a(i+1)\nend\n",
+        )
+        .unwrap();
+        assert_valid(&p);
+        let f = p.main_function();
+        let loads = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|s| matches!(s, Stmt::Load { .. }))
+            .count();
+        assert_eq!(loads, 2);
+        assert_eq!(p.check_count(), 4);
+    }
+
+    #[test]
+    fn undeclared_name_is_error() {
+        assert!(compile("program p\n x = 1\nend\n").is_err());
+    }
+
+    #[test]
+    fn assigning_loop_var_is_error() {
+        let r = compile(
+            "program p\n integer i\n do i = 1, 3\n i = 5\n enddo\nend\n",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn assigning_bound_var_is_error() {
+        let r = compile(
+            "subroutine s(n)\n integer n\n integer a(1:n)\n n = 3\nend\nprogram p\n call s(2)\nend\n",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn symbolic_bounds_require_subroutine() {
+        let r = compile("program p\n integer n\n integer a(1:n)\nend\n");
+        assert!(r.is_err());
+        let ok = compile(
+            "subroutine s(n)\n integer n\n integer a(1:n)\n a(1) = 0\nend\nprogram p\n call s(5)\nend\n",
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn calling_the_main_program_is_rejected() {
+        assert!(compile("program p\n call p()\nend\n").is_err());
+        // mutual subroutine recursion stays allowed (depth-limited at run time)
+        let ok = compile(
+            "subroutine a(x)\n integer x\n if (x > 0) then\n call b(x - 1)\n endif\nend\nsubroutine b(x)\n integer x\n call a(x)\nend\nprogram p\n call a(3)\nend\n",
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn call_arity_and_kinds_checked() {
+        let base = "subroutine s(x, a)\n integer x\n integer a(1:10)\n a(x) = 0\nend\n";
+        assert!(compile(&format!("{base}program p\n integer b(1:10)\n call s(1, b)\nend\n")).is_ok());
+        assert!(compile(&format!("{base}program p\n integer b(1:10)\n call s(1)\nend\n")).is_err());
+        assert!(compile(&format!("{base}program p\n integer b(1:10)\n call s(b, b)\nend\n")).is_err());
+        assert!(compile(&format!("{base}program p\n integer y\n y = 0\n call s(1, y)\nend\n")).is_err());
+    }
+
+    #[test]
+    fn real_to_integer_assignment_rejected() {
+        assert!(compile("program p\n integer x\n x = 1.5\nend\n").is_err());
+        assert!(compile("program p\n real x\n x = 1\nend\n").is_ok());
+    }
+
+    #[test]
+    fn zero_step_rejected() {
+        assert!(compile("program p\n integer i\n do i = 1, 3, 0\n print i\n enddo\nend\n").is_err());
+    }
+
+    #[test]
+    fn negative_step_uses_ge_condition() {
+        let p = compile(
+            "program p\n integer i\n integer a(1:10)\n do i = 10, 1, -1\n a(i) = i\n enddo\nend\n",
+        )
+        .unwrap();
+        assert_valid(&p);
+    }
+
+    #[test]
+    fn while_cond_loads_re_execute() {
+        let p = compile(
+            "program p\n integer a(1:10)\n integer i\n i = 1\n a(1) = 5\n while (a(i) > 0)\n a(i) = a(i) - 1\n endwhile\nend\n",
+        )
+        .unwrap();
+        assert_valid(&p);
+        // condition read: 2 checks in the header; body: 2 reads+writes more
+        assert!(p.check_count() >= 6);
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        assert!(compile("program p\n integer a(1:4,1:4)\n a(1) = 0\nend\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        assert!(compile("program p\n integer x\n real x\nend\n").is_err());
+    }
+
+    #[test]
+    fn mod_and_min_max_lower() {
+        let p = compile(
+            "program p\n integer x\n x = mod(7, 3) + min(1, 2) + max(3, 4)\nend\n",
+        )
+        .unwrap();
+        assert_valid(&p);
+    }
+}

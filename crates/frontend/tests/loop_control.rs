@@ -1,0 +1,194 @@
+//! `exit` / `cycle` loop-control statements: lowering shape, execution
+//! semantics, and their interaction with the range-check optimizer
+//! (conditionally exited loops produce multi-exit CFGs; checks after a
+//! conditional `exit`/`cycle` are not anticipatable at the loop entry and
+//! must not be hoisted).
+
+use nascent_frontend::compile;
+use nascent_interp::{run, Limits, Value};
+use nascent_ir::validate::assert_valid;
+
+fn run_src(src: &str) -> nascent_interp::RunResult {
+    let p = compile(src).unwrap();
+    assert_valid(&p);
+    run(&p, &Limits::default()).unwrap()
+}
+
+#[test]
+fn exit_leaves_the_loop_early() {
+    let r = run_src(
+        "program p
+ integer i, s
+ s = 0
+ do i = 1, 100
+  if (i == 5) then
+   exit
+  endif
+  s = s + i
+ enddo
+ print s
+ print i
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(10), Value::Int(5)]);
+}
+
+#[test]
+fn cycle_skips_to_the_next_iteration() {
+    let r = run_src(
+        "program p
+ integer i, s
+ s = 0
+ do i = 1, 10
+  if (mod(i, 2) == 0) then
+   cycle
+  endif
+  s = s + i
+ enddo
+ print s
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(25)]); // 1+3+5+7+9
+}
+
+#[test]
+fn cycle_in_do_loop_still_increments() {
+    // a cycle that skipped the increment would loop forever
+    let r = run_src(
+        "program p
+ integer i, c
+ c = 0
+ do i = 1, 6
+  cycle
+ enddo
+ print i
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(7)]);
+}
+
+#[test]
+fn exit_from_while_loop() {
+    let r = run_src(
+        "program p
+ integer i
+ i = 0
+ while (1 == 1)
+  i = i + 1
+  if (i >= 8) then
+   exit
+  endif
+ endwhile
+ print i
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(8)]);
+}
+
+#[test]
+fn cycle_in_while_retests_condition() {
+    let r = run_src(
+        "program p
+ integer i, s
+ i = 0
+ s = 0
+ while (i < 10)
+  i = i + 1
+  if (i > 5) then
+   cycle
+  endif
+  s = s + i
+ endwhile
+ print s
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(15)]); // 1..5
+}
+
+#[test]
+fn nested_loops_exit_innermost_only() {
+    let r = run_src(
+        "program p
+ integer i, j, s
+ s = 0
+ do i = 1, 3
+  do j = 1, 10
+   if (j == 2) then
+    exit
+   endif
+   s = s + 1
+  enddo
+ enddo
+ print s
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(3)]);
+}
+
+#[test]
+fn exit_outside_loop_is_error() {
+    assert!(compile("program p\n exit\nend\n").is_err());
+    assert!(compile("program p\n cycle\nend\n").is_err());
+}
+
+#[test]
+fn optimizer_is_safe_on_early_exit_loops() {
+    use nascent_rangecheck::{optimize_program, OptimizeOptions, Scheme};
+    // a(i) would trap at i = 11, but the loop exits at i = 6: hoisting the
+    // post-exit access's check naively would introduce a bogus trap
+    let src = "program p
+ integer a(1:10)
+ integer i, s
+ s = 0
+ do i = 1, 20
+  if (i > 5) then
+   exit
+  endif
+  a(i) = i
+  s = s + a(i)
+ enddo
+ print s
+end
+";
+    let naive = run_src(src);
+    assert!(naive.trap.is_none());
+    for scheme in Scheme::EACH {
+        let mut p = compile(src).unwrap();
+        optimize_program(&mut p, &OptimizeOptions::scheme(scheme));
+        assert_valid(&p);
+        let opt = run(&p, &Limits::default()).unwrap();
+        assert!(opt.trap.is_none(), "{scheme:?} introduced a trap");
+        assert_eq!(opt.output, naive.output, "{scheme:?}");
+    }
+}
+
+#[test]
+fn optimizer_preserves_trap_in_pre_exit_region() {
+    use nascent_rangecheck::{optimize_program, OptimizeOptions, Scheme};
+    let src = "program p
+ integer a(1:4)
+ integer i
+ do i = 1, 20
+  a(i) = i
+  if (i > 50) then
+   exit
+  endif
+ enddo
+end
+";
+    let naive = run_src(src);
+    let nt = naive.trap.expect("naive traps at i = 5");
+    for scheme in Scheme::EACH {
+        let mut p = compile(src).unwrap();
+        optimize_program(&mut p, &OptimizeOptions::scheme(scheme));
+        let opt = run(&p, &Limits::default()).unwrap();
+        let ot = opt.trap.unwrap_or_else(|| panic!("{scheme:?} lost the trap"));
+        assert!(ot.at_progress <= nt.at_progress, "{scheme:?} delayed");
+    }
+}

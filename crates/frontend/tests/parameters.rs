@@ -1,0 +1,86 @@
+//! `parameter` (named compile-time constant) declarations.
+
+use nascent_frontend::compile;
+use nascent_interp::{run, Limits, Value};
+
+fn run_src(src: &str) -> nascent_interp::RunResult {
+    let p = compile(src).unwrap();
+    nascent_ir::validate::assert_valid(&p);
+    run(&p, &Limits::default()).unwrap()
+}
+
+#[test]
+fn parameters_fold_into_bounds_and_expressions() {
+    let r = run_src(
+        "program p
+ parameter n = 10
+ integer a(1:n)
+ integer i, s
+ s = 0
+ do i = 1, n
+  a(i) = i * 2
+  s = s + a(i)
+ enddo
+ print s
+ print n + 1
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(110), Value::Int(11)]);
+}
+
+#[test]
+fn negative_parameters() {
+    let r = run_src(
+        "program p
+ parameter lo = -3
+ integer a(lo:3)
+ integer i
+ do i = lo, 3
+  a(i) = i
+ enddo
+ print a(lo) + a(3)
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(0)]);
+}
+
+#[test]
+fn parameter_checks_fold_at_compile_time() {
+    use nascent_rangecheck::{optimize_program, OptimizeOptions, Scheme};
+    let src = "program p
+ parameter n = 10
+ integer a(1:n)
+ a(n) = 1
+ print a(n)
+end
+";
+    let mut p = compile(src).unwrap();
+    let stats = optimize_program(&mut p, &OptimizeOptions::scheme(Scheme::Ni));
+    // every check involves only literals after parameter substitution
+    assert_eq!(p.check_count(), 0);
+    assert!(stats.folded_true >= 2);
+}
+
+#[test]
+fn assigning_a_parameter_is_an_error() {
+    assert!(compile("program p\n parameter n = 5\n n = 6\nend\n").is_err());
+    assert!(
+        compile("program p\n parameter n = 5\n integer i\n do n = 1, 3\n i = 1\n enddo\nend\n")
+            .is_err()
+    );
+}
+
+#[test]
+fn parameter_name_clashes_are_errors() {
+    assert!(compile("program p\n parameter n = 5\n integer n\nend\n").is_err());
+    assert!(compile("program p\n parameter n = 5\n parameter n = 6\nend\n").is_err());
+    assert!(compile("program p\n integer n\n parameter n = 6\nend\n").is_err());
+}
+
+#[test]
+fn parameter_requires_literal_value() {
+    assert!(compile("program p\n parameter n = 2 + 3\nend\n").is_err());
+    assert!(compile("program p\n integer m\n parameter n = m\nend\n").is_err());
+}

@@ -1,0 +1,736 @@
+//! The abstract machine: frames, array storage, evaluation and counters.
+
+use std::fmt;
+
+use nascent_ir::{
+    Arg, ArrayId, Atom, BinOp, BlockId, Check, Expr, FuncId, LinForm, Param, Program, Stmt,
+    Terminator, Ty, UnOp,
+};
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Real value.
+    Real(f64),
+}
+
+impl Value {
+    /// Integer view; truncates reals toward zero.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Real(v) => v as i64,
+        }
+    }
+
+    /// Real view.
+    pub fn as_real(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Real(v) => v,
+        }
+    }
+
+    fn zero(ty: Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(0),
+            Ty::Real => Value::Real(0.0),
+        }
+    }
+
+    fn coerce(self, ty: Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(self.as_int()),
+            Ty::Real => Value::Real(self.as_real()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Resource limits for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum dynamic instructions (checks included) before the run is
+    /// aborted with [`RunError::StepLimit`].
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_steps: 200_000_000,
+            max_call_depth: 128,
+        }
+    }
+}
+
+/// A detected range violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    /// Function in which the check fired.
+    pub function: String,
+    /// The check, rendered in the paper's `Check (...)` notation.
+    pub check: String,
+    /// Dynamic instruction count (non-check) at the moment of the trap.
+    pub at_instruction: u64,
+    /// Number of non-check *statements* executed at the moment of the
+    /// trap. Terminators are excluded, so the count is insensitive to the
+    /// empty jump blocks that edge-splitting placements introduce; since
+    /// the optimizer never adds, removes or moves non-check statements,
+    /// this is the comparable "program execution point" of the paper's
+    /// preservation criterion ("detected ... no later than the execution
+    /// point at which the violation in the unoptimized program is
+    /// detected").
+    pub at_progress: u64,
+}
+
+/// Outcome of a completed (or trapped) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Dynamic non-check instructions executed.
+    pub dynamic_instructions: u64,
+    /// Non-check, non-trap statements executed — the jump-insensitive
+    /// progress metric (see [`Trap::at_progress`]). Unlike instruction
+    /// counts, this is invariant under check placement (edge splitting
+    /// adds jumps but no statements), so optimized and naive runs of the
+    /// same program must agree on it exactly.
+    pub dynamic_progress: u64,
+    /// Dynamic range checks performed (guards that failed suppress the
+    /// check and it is not counted).
+    pub dynamic_checks: u64,
+    /// Dynamic guard evaluations for conditional checks (reported
+    /// separately so hoisting's residual overhead is visible).
+    pub dynamic_guard_ops: u64,
+    /// The trap that ended the run, if any.
+    pub trap: Option<Trap>,
+    /// Values emitted by `print`, in order.
+    pub output: Vec<Value>,
+}
+
+/// A run that could not produce a meaningful result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The step budget was exhausted.
+    StepLimit,
+    /// Call depth exceeded.
+    CallDepth,
+    /// Integer division or remainder by zero.
+    DivisionByZero { function: String },
+    /// An array access went outside the declared bounds without a check
+    /// trapping first — either the program was compiled without checks, or
+    /// the optimizer is unsound.
+    UndetectedViolation {
+        function: String,
+        array: String,
+        dim: usize,
+        index: i64,
+        lo: i64,
+        hi: i64,
+    },
+    /// An array was declared with `lower > upper + 1` (negative extent).
+    BadBounds { function: String, array: String },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimit => write!(f, "step limit exceeded"),
+            RunError::CallDepth => write!(f, "call depth exceeded"),
+            RunError::DivisionByZero { function } => {
+                write!(f, "division by zero in {function}")
+            }
+            RunError::UndetectedViolation {
+                function,
+                array,
+                dim,
+                index,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "undetected range violation in {function}: {array} dim {dim} index {index} not in {lo}..{hi}"
+            ),
+            RunError::BadBounds { function, array } => {
+                write!(f, "array {array} in {function} has negative extent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One statement execution, as recorded by [`run_traced`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Function executing the statement.
+    pub function: String,
+    /// Block of the statement.
+    pub block: nascent_ir::BlockId,
+    /// Statement index within the block.
+    pub stmt: usize,
+    /// The statement, pretty-printed with source names.
+    pub rendered: String,
+}
+
+/// Runs a program's main function to completion, trap, or error.
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn run(prog: &Program, limits: &Limits) -> Result<RunResult, RunError> {
+    run_inner(prog, limits, None).0
+}
+
+/// Like [`run`], additionally recording up to `max_events` statement
+/// executions (checks included) for debugging. The trace is returned even
+/// when the run errors.
+pub fn run_traced(
+    prog: &Program,
+    limits: &Limits,
+    max_events: usize,
+) -> (Result<RunResult, RunError>, Vec<TraceEvent>) {
+    let (r, t) = run_inner(prog, limits, Some(max_events));
+    (r, t.unwrap_or_default())
+}
+
+fn run_inner(
+    prog: &Program,
+    limits: &Limits,
+    trace_cap: Option<usize>,
+) -> (Result<RunResult, RunError>, Option<Vec<TraceEvent>>) {
+    let mut m = Machine {
+        prog,
+        limits,
+        instructions: 0,
+        progress: 0,
+        checks: 0,
+        guard_ops: 0,
+        output: Vec::new(),
+        arrays: Vec::new(),
+        trace_cap: trace_cap.unwrap_or(0),
+        trace: trace_cap.map(|_| Vec::new()),
+    };
+    let result = m.call(prog.main, &[], 0);
+    let trace = m.trace.take();
+    let r = result.map(|trap| RunResult {
+        dynamic_instructions: m.instructions,
+        dynamic_progress: m.progress,
+        dynamic_checks: m.checks,
+        dynamic_guard_ops: m.guard_ops,
+        trap,
+        output: m.output,
+    });
+    (r, trace)
+}
+
+/// Heap-allocated array object (shared by reference across calls).
+#[derive(Debug)]
+struct ArrayObj {
+    dims: Vec<(i64, i64)>,
+    data: Vec<Value>,
+}
+
+/// Per-call state.
+struct Frame {
+    vars: Vec<Value>,
+    /// For each local array slot: index into the machine's array arena.
+    arrays: Vec<usize>,
+}
+
+struct Machine<'a> {
+    prog: &'a Program,
+    limits: &'a Limits,
+    instructions: u64,
+    progress: u64,
+    checks: u64,
+    guard_ops: u64,
+    output: Vec<Value>,
+    arrays: Vec<ArrayObj>,
+    trace_cap: usize,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl<'a> Machine<'a> {
+    fn charge(&mut self, cost: u64) -> Result<(), RunError> {
+        self.instructions += cost;
+        if self.instructions + self.checks > self.limits.max_steps {
+            return Err(RunError::StepLimit);
+        }
+        Ok(())
+    }
+
+    /// Executes one function; passed-in array arguments occupy the callee's
+    /// parameter array slots. Returns a trap if one fired.
+    fn call(
+        &mut self,
+        fid: FuncId,
+        args: &[CallArg],
+        depth: usize,
+    ) -> Result<Option<Trap>, RunError> {
+        if depth > self.limits.max_call_depth {
+            return Err(RunError::CallDepth);
+        }
+        let f = self.prog.function(fid);
+        let mut frame = Frame {
+            vars: f.vars.iter().map(|v| Value::zero(v.ty)).collect(),
+            arrays: vec![usize::MAX; f.arrays.len()],
+        };
+        // bind parameters
+        for (p, a) in f.params.iter().zip(args.iter()) {
+            match (p, a) {
+                (Param::Scalar(v), CallArg::Scalar(val)) => {
+                    frame.vars[v.index()] = val.coerce(f.vars[v.index()].ty);
+                }
+                (Param::Array(slot), CallArg::Array(obj)) => {
+                    frame.arrays[slot.index()] = *obj;
+                }
+                _ => unreachable!("frontend checked call kinds"),
+            }
+        }
+        // allocate local (non-parameter) arrays, bounds evaluated on entry
+        for (i, info) in f.arrays.iter().enumerate() {
+            if frame.arrays[i] != usize::MAX {
+                continue;
+            }
+            let mut dims = Vec::with_capacity(info.dims.len());
+            let mut len: usize = 1;
+            for (lo, hi) in &info.dims {
+                let lo = self.eval(f, &frame, lo)?.as_int();
+                let hi = self.eval(f, &frame, hi)?.as_int();
+                if hi < lo - 1 {
+                    return Err(RunError::BadBounds {
+                        function: f.name.clone(),
+                        array: info.name.clone(),
+                    });
+                }
+                let extent = (hi - lo + 1).max(0) as usize;
+                len = len.saturating_mul(extent);
+                dims.push((lo, hi));
+            }
+            let idx = self.arrays.len();
+            self.arrays.push(ArrayObj {
+                dims,
+                data: vec![Value::zero(info.ty); len],
+            });
+            frame.arrays[i] = idx;
+        }
+
+        // interpret blocks
+        let mut bb: BlockId = f.entry;
+        loop {
+            let block = f.block(bb);
+            for (si, stmt) in block.stmts.iter().enumerate() {
+                self.charge(stmt.cost())?;
+                // checks and traps do not advance the comparable execution
+                // point (the optimizer inserts, moves and folds them)
+                if !matches!(stmt, Stmt::Check(_) | Stmt::Trap { .. }) {
+                    self.progress += 1;
+                }
+                if let Some(trace) = &mut self.trace {
+                    if trace.len() < self.trace_cap {
+                        trace.push(TraceEvent {
+                            function: f.name.clone(),
+                            block: bb,
+                            stmt: si,
+                            rendered: nascent_ir::pretty::stmt_to_string(f, stmt),
+                        });
+                    }
+                }
+                match stmt {
+                    Stmt::Assign { var, value } => {
+                        let v = self.eval(f, &frame, value)?;
+                        frame.vars[var.index()] = v.coerce(f.vars[var.index()].ty);
+                    }
+                    Stmt::Load { var, array, index } => {
+                        let offset = self.element_offset(f, &frame, *array, index)?;
+                        let obj = frame.arrays[array.index()];
+                        let v = self.arrays[obj].data[offset];
+                        frame.vars[var.index()] = v.coerce(f.vars[var.index()].ty);
+                    }
+                    Stmt::Store {
+                        array,
+                        index,
+                        value,
+                    } => {
+                        let v = self.eval(f, &frame, value)?;
+                        let offset = self.element_offset(f, &frame, *array, index)?;
+                        let obj = frame.arrays[array.index()];
+                        let ty = f.arrays[array.index()].ty;
+                        self.arrays[obj].data[offset] = v.coerce(ty);
+                    }
+                    Stmt::Check(check) => {
+                        if let Some(trap) = self.perform_check(f, &frame, check)? {
+                            return Ok(Some(trap));
+                        }
+                    }
+                    Stmt::Trap { message } => {
+                        return Ok(Some(Trap {
+                            function: f.name.clone(),
+                            check: format!("TRAP \"{message}\""),
+                            at_instruction: self.instructions,
+                            at_progress: self.progress,
+                        }));
+                    }
+                    Stmt::Call { callee, args } => {
+                        let mut call_args = Vec::with_capacity(args.len());
+                        for a in args {
+                            match a {
+                                Arg::Scalar(e) => {
+                                    call_args.push(CallArg::Scalar(self.eval(f, &frame, e)?))
+                                }
+                                Arg::Array(id) => {
+                                    call_args.push(CallArg::Array(frame.arrays[id.index()]))
+                                }
+                            }
+                        }
+                        if let Some(trap) = self.call(*callee, &call_args, depth + 1)? {
+                            return Ok(Some(trap));
+                        }
+                    }
+                    Stmt::Emit(e) => {
+                        let v = self.eval(f, &frame, e)?;
+                        self.output.push(v);
+                    }
+                }
+            }
+            self.charge(block.term.cost())?;
+            match &block.term {
+                Terminator::Jump(t) => bb = *t,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.eval(f, &frame, cond)?;
+                    bb = if c.as_int() != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Return => return Ok(None),
+            }
+        }
+    }
+
+    /// Evaluates guards then the check; counts and traps accordingly.
+    fn perform_check(
+        &mut self,
+        f: &nascent_ir::Function,
+        frame: &Frame,
+        check: &Check,
+    ) -> Result<Option<Trap>, RunError> {
+        for g in &check.guards {
+            self.guard_ops += 1;
+            if !self.eval_check_expr(frame, g) {
+                return Ok(None); // guard failed: check suppressed
+            }
+        }
+        self.checks += 1;
+        if self.checks + self.instructions > self.limits.max_steps {
+            return Err(RunError::StepLimit);
+        }
+        if self.eval_check_expr(frame, &check.cond) {
+            Ok(None)
+        } else {
+            Ok(Some(Trap {
+                function: f.name.clone(),
+                check: check.to_string(),
+                at_instruction: self.instructions,
+                at_progress: self.progress,
+            }))
+        }
+    }
+
+    /// Evaluates a canonical check `form <= bound` over integer variables.
+    fn eval_check_expr(&self, frame: &Frame, ce: &nascent_ir::CheckExpr) -> bool {
+        self.eval_linform(frame, ce.form()) <= ce.bound()
+    }
+
+    fn eval_linform(&self, frame: &Frame, form: &LinForm) -> i64 {
+        let mut acc = form.constant_part();
+        for (term, coeff) in form.terms() {
+            let mut prod: i64 = 1;
+            for atom in term.atoms() {
+                let v = match atom {
+                    Atom::Var(v) => frame.vars[v.index()].as_int(),
+                    Atom::Opaque(e) => self
+                        .eval_pure(frame, e)
+                        .map_or(0, Value::as_int),
+                };
+                prod = prod.wrapping_mul(v);
+            }
+            acc = acc.wrapping_add(coeff.wrapping_mul(prod));
+        }
+        acc
+    }
+
+    /// Pure expression evaluation that cannot fail (division by zero in an
+    /// opaque check atom yields `None`, treated as 0 by the caller; the
+    /// frontend only creates opaque atoms from subscript expressions that
+    /// the surrounding statement would also evaluate).
+    fn eval_pure(&self, frame: &Frame, e: &Expr) -> Option<Value> {
+        match e {
+            Expr::IntConst(v) => Some(Value::Int(*v)),
+            Expr::RealConst(r) => Some(Value::Real(r.value())),
+            Expr::Var(v) => Some(frame.vars[v.index()]),
+            Expr::Unary(op, inner) => {
+                let v = self.eval_pure(frame, inner)?;
+                Some(apply_unop(*op, v))
+            }
+            Expr::Binary(op, l, r) => {
+                let l = self.eval_pure(frame, l)?;
+                let r = self.eval_pure(frame, r)?;
+                apply_binop(*op, l, r)
+            }
+        }
+    }
+
+    fn eval(
+        &self,
+        f: &nascent_ir::Function,
+        frame: &Frame,
+        e: &Expr,
+    ) -> Result<Value, RunError> {
+        self.eval_pure(frame, e).ok_or(RunError::DivisionByZero {
+            function: f.name.clone(),
+        })
+    }
+
+    /// Computes the row-major offset of an element, reporting an
+    /// out-of-bounds subscript as an undetected violation.
+    fn element_offset(
+        &self,
+        f: &nascent_ir::Function,
+        frame: &Frame,
+        array: ArrayId,
+        index: &[Expr],
+    ) -> Result<usize, RunError> {
+        let obj = &self.arrays[frame.arrays[array.index()]];
+        let mut offset: usize = 0;
+        for (d, (e, (lo, hi))) in index.iter().zip(obj.dims.iter()).enumerate() {
+            let i = self.eval(f, frame, e)?.as_int();
+            if i < *lo || i > *hi {
+                return Err(RunError::UndetectedViolation {
+                    function: f.name.clone(),
+                    array: f.arrays[array.index()].name.clone(),
+                    dim: d,
+                    index: i,
+                    lo: *lo,
+                    hi: *hi,
+                });
+            }
+            let extent = (hi - lo + 1) as usize;
+            offset = offset * extent + (i - lo) as usize;
+        }
+        Ok(offset)
+    }
+}
+
+enum CallArg {
+    Scalar(Value),
+    Array(usize),
+}
+
+fn apply_unop(op: UnOp, v: Value) -> Value {
+    match (op, v) {
+        (UnOp::Neg, Value::Int(v)) => Value::Int(v.wrapping_neg()),
+        (UnOp::Neg, Value::Real(v)) => Value::Real(-v),
+        (UnOp::Not, v) => Value::Int(i64::from(v.as_int() == 0)),
+    }
+}
+
+fn apply_binop(op: BinOp, l: Value, r: Value) -> Option<Value> {
+    use Value::{Int, Real};
+    let real = matches!(l, Real(_)) || matches!(r, Real(_));
+    if real {
+        let (a, b) = (l.as_real(), r.as_real());
+        return Some(match op {
+            BinOp::Add => Real(a + b),
+            BinOp::Sub => Real(a - b),
+            BinOp::Mul => Real(a * b),
+            BinOp::Div => Real(a / b),
+            BinOp::Mod => Real(a % b),
+            BinOp::Min => Real(a.min(b)),
+            BinOp::Max => Real(a.max(b)),
+            BinOp::Lt => Int(i64::from(a < b)),
+            BinOp::Le => Int(i64::from(a <= b)),
+            BinOp::Gt => Int(i64::from(a > b)),
+            BinOp::Ge => Int(i64::from(a >= b)),
+            BinOp::Eq => Int(i64::from(a == b)),
+            BinOp::Ne => Int(i64::from(a != b)),
+            BinOp::And => Int(i64::from(a != 0.0 && b != 0.0)),
+            BinOp::Or => Int(i64::from(a != 0.0 || b != 0.0)),
+        });
+    }
+    let (a, b) = (l.as_int(), r.as_int());
+    nascent_ir::expr::eval_int_binop(op, a, b).map(Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::{compile, compile_with, CheckInsertion};
+
+    fn run_src(src: &str) -> RunResult {
+        run(&compile(src).unwrap(), &Limits::default()).unwrap()
+    }
+
+    #[test]
+    fn computes_and_emits() {
+        let r = run_src(
+            "program p\n integer x\n x = 2 + 3 * 4\n print x\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Int(14)]);
+        assert!(r.trap.is_none());
+        assert_eq!(r.dynamic_checks, 0);
+    }
+
+    #[test]
+    fn loop_executes_and_counts_checks() {
+        let r = run_src(
+            "program p\n integer a(1:10)\n integer i, s\n s = 0\n do i = 1, 10\n a(i) = i\n enddo\n do i = 1, 10\n s = s + a(i)\n enddo\n print s\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Int(55)]);
+        assert_eq!(r.dynamic_checks, 40); // 10 stores * 2 + 10 loads * 2
+        assert!(r.dynamic_instructions > 0);
+    }
+
+    #[test]
+    fn failing_check_traps() {
+        let r = run_src(
+            "program p\n integer a(1:5)\n integer i\n i = 7\n a(i) = 1\nend\n",
+        );
+        let trap = r.trap.expect("should trap");
+        assert!(trap.check.contains("Check ("), "got {}", trap.check);
+    }
+
+    #[test]
+    fn lower_bound_violation_traps() {
+        let r = run_src(
+            "program p\n integer a(3:5)\n integer i\n i = 1\n a(i) = 1\nend\n",
+        );
+        assert!(r.trap.is_some());
+    }
+
+    #[test]
+    fn unchecked_violation_is_error() {
+        let p = compile_with(
+            "program p\n integer a(1:5)\n integer i\n i = 7\n a(i) = 1\nend\n",
+            CheckInsertion::None,
+        )
+        .unwrap();
+        match run(&p, &Limits::default()) {
+            Err(RunError::UndetectedViolation { index: 7, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trap_stops_execution_immediately() {
+        let r = run_src(
+            "program p\n integer a(1:5)\n integer i\n i = 9\n print 1\n a(i) = 0\n print 2\nend\n",
+        );
+        assert!(r.trap.is_some());
+        assert_eq!(r.output, vec![Value::Int(1)]); // second print unreached
+    }
+
+    #[test]
+    fn subroutine_arrays_pass_by_reference() {
+        let r = run_src(
+            "subroutine fill(n, a)\n integer n\n integer a(1:10)\n integer i\n do i = 1, n\n a(i) = i * i\n enddo\nend\nprogram p\n integer b(1:10)\n call fill(4, b)\n print b(4)\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Int(16)]);
+    }
+
+    #[test]
+    fn scalars_pass_by_value() {
+        let r = run_src(
+            "subroutine s(x)\n integer x\n x = 99\nend\nprogram p\n integer y\n y = 5\n call s(y)\n print y\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn adjustable_array_bounds_evaluated_on_entry() {
+        let r = run_src(
+            "subroutine s(n)\n integer n\n integer a(1:n)\n a(n) = 42\n print a(n)\nend\nprogram p\n call s(3)\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Int(42)]);
+        assert!(r.trap.is_none());
+    }
+
+    #[test]
+    fn while_loop_and_reals() {
+        let r = run_src(
+            "program p\n real x\n integer i\n x = 1.0\n i = 0\n while (i < 3)\n x = x * 2.0\n i = i + 1\n endwhile\n print x\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Real(8.0)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let p = compile("program p\n integer x\n x = 0\n x = 1 / x\nend\n").unwrap();
+        assert!(matches!(
+            run(&p, &Limits::default()),
+            Err(RunError::DivisionByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loop() {
+        let p = compile("program p\n integer i\n i = 0\n while (0 == 0)\n i = i + 1\n endwhile\nend\n")
+            .unwrap();
+        let limits = Limits {
+            max_steps: 10_000,
+            max_call_depth: 8,
+        };
+        assert_eq!(run(&p, &limits), Err(RunError::StepLimit));
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let p = compile(
+            "subroutine r(x)\n integer x\n call r(x)\nend\nprogram p\n call r(1)\nend\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            run(&p, &Limits::default()),
+            Err(RunError::CallDepth) | Err(RunError::StepLimit)
+        ));
+    }
+
+    #[test]
+    fn multi_dim_row_major_addressing() {
+        let r = run_src(
+            "program p\n integer a(1:3, 1:4)\n integer i, j\n do i = 1, 3\n do j = 1, 4\n a(i, j) = 10 * i + j\n enddo\n enddo\n print a(2, 3)\n print a(3, 1)\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Int(23), Value::Int(31)]);
+    }
+
+    #[test]
+    fn negative_step_loop_runs_downward() {
+        let r = run_src(
+            "program p\n integer i\n integer a(1:5)\n do i = 5, 1, -1\n a(i) = 6 - i\n enddo\n print a(5)\nend\n",
+        );
+        assert_eq!(r.output, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn zero_trip_loop_body_never_runs() {
+        let r = run_src(
+            "program p\n integer i\n integer a(1:5)\n do i = 3, 1\n a(99) = 0\n enddo\n print 7\nend\n",
+        );
+        assert!(r.trap.is_none());
+        assert_eq!(r.output, vec![Value::Int(7)]);
+        assert_eq!(r.dynamic_checks, 0);
+    }
+}

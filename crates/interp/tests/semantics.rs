@@ -1,0 +1,215 @@
+//! Focused semantics tests: operator edge cases, coercions, array
+//! aliasing through by-reference parameters, and unusual bounds.
+
+use nascent_frontend::compile;
+use nascent_interp::{run, Limits, RunError, Value};
+
+fn run_src(src: &str) -> nascent_interp::RunResult {
+    run(&compile(src).unwrap(), &Limits::default()).unwrap()
+}
+
+#[test]
+fn integer_division_truncates_toward_zero() {
+    let r = run_src(
+        "program p\n integer a, b\n a = -7\n b = 2\n print a / b\n print mod(a, b)\n print 7 / -2\nend\n",
+    );
+    assert_eq!(
+        r.output,
+        vec![Value::Int(-3), Value::Int(-1), Value::Int(-3)]
+    );
+}
+
+#[test]
+fn min_max_and_logic() {
+    let r = run_src(
+        "program p
+ integer x
+ x = 5
+ print min(x, 3) + max(x, 9)
+ print (x > 1 and x < 9)
+ print (x > 9 or x == 5)
+ print not (x == 5)
+end
+",
+    );
+    assert_eq!(
+        r.output,
+        vec![Value::Int(12), Value::Int(1), Value::Int(1), Value::Int(0)]
+    );
+}
+
+#[test]
+fn int_to_real_coercion_on_assignment_and_mixing() {
+    let r = run_src(
+        "program p
+ real x
+ integer i
+ i = 3
+ x = i
+ x = x / 2
+ print x
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Real(1.5)]);
+}
+
+#[test]
+fn aliased_array_parameters_share_storage() {
+    // the same array passed twice: writes through one name are visible
+    // through the other (Fortran-style aliasing)
+    let r = run_src(
+        "subroutine s(n, x, y)
+ integer n
+ integer x(1:n), y(1:n)
+ x(1) = 41
+ y(1) = y(1) + 1
+end
+program p
+ integer a(1:4)
+ call s(4, a, a)
+ print a(1)
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(42)]);
+}
+
+#[test]
+fn nested_calls_pass_arrays_through() {
+    let r = run_src(
+        "subroutine inner(n, b)
+ integer n
+ integer b(1:n)
+ b(n) = 99
+end
+subroutine outer(n, a)
+ integer n
+ integer a(1:n)
+ call inner(n, a)
+end
+program p
+ integer a(1:7)
+ call outer(7, a)
+ print a(7)
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(99)]);
+}
+
+#[test]
+fn single_element_and_negative_bound_arrays() {
+    let r = run_src(
+        "program p
+ integer one(5:5), neg(-3:-1)
+ one(5) = 10
+ neg(-3) = 1
+ neg(-2) = 2
+ neg(-1) = 3
+ print one(5) + neg(-3) + neg(-1)
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(14)]);
+}
+
+#[test]
+fn zero_extent_array_is_allocatable_but_untouchable() {
+    // extent 0 (hi = lo - 1) is legal to declare; any access traps
+    let r = run_src(
+        "subroutine s(n)
+ integer n
+ integer a(1:n)
+ print 5
+end
+program p
+ call s(0)
+end
+",
+    );
+    assert!(r.trap.is_none());
+    assert_eq!(r.output, vec![Value::Int(5)]);
+    // accessing it traps on the checks
+    let r = run_src(
+        "subroutine s(n)
+ integer n
+ integer a(1:n)
+ a(1) = 1
+end
+program p
+ call s(0)
+end
+",
+    );
+    assert!(r.trap.is_some());
+}
+
+#[test]
+fn negative_extent_is_a_run_error() {
+    let p = compile(
+        "subroutine s(n)\n integer n\n integer a(1:n)\nend\nprogram p\n call s(-5)\nend\n",
+    )
+    .unwrap();
+    assert!(matches!(
+        run(&p, &Limits::default()),
+        Err(RunError::BadBounds { .. })
+    ));
+}
+
+#[test]
+fn real_comparisons_drive_branches() {
+    let r = run_src(
+        "program p
+ real x
+ x = 0.1 + 0.2
+ if (x > 0.3) then
+  print 1
+ else
+  print 0
+ endif
+end
+",
+    );
+    // 0.1 + 0.2 > 0.3 in IEEE double arithmetic
+    assert_eq!(r.output, vec![Value::Int(1)]);
+}
+
+#[test]
+fn scalar_params_coerce_to_declared_type() {
+    let r = run_src(
+        "subroutine s(x)
+ real x
+ print x * 2.0
+end
+program p
+ call s(3)
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Real(6.0)]);
+}
+
+#[test]
+fn wraparound_subscript_arithmetic() {
+    let r = run_src(
+        "program p
+ integer a(0:9)
+ integer i, j
+ do i = 0, 19
+  j = mod(i, 10)
+  a(j) = a(j) + 1
+ enddo
+ print a(0) + a(9)
+end
+",
+    );
+    assert_eq!(r.output, vec![Value::Int(4)]);
+}
+
+#[test]
+fn emit_preserves_value_kinds() {
+    let r = run_src("program p\n print 1\n print 1.0\nend\n");
+    assert_eq!(r.output, vec![Value::Int(1), Value::Real(1.0)]);
+    assert_ne!(r.output[0], r.output[1], "Int(1) != Real(1.0)");
+}

@@ -1,0 +1,49 @@
+//! The statement-trace facility.
+
+use nascent_frontend::compile;
+use nascent_interp::{run, run_traced, Limits};
+
+#[test]
+fn trace_records_statements_in_order() {
+    let src = "program p\n integer x\n x = 1\n x = x + 1\n print x\nend\n";
+    let prog = compile(src).unwrap();
+    let (r, trace) = run_traced(&prog, &Limits::default(), 100);
+    let r = r.unwrap();
+    assert_eq!(r.output.len(), 1);
+    assert_eq!(trace.len(), 3);
+    assert_eq!(trace[0].rendered, "x = 1");
+    assert_eq!(trace[1].rendered, "x = (x + 1)");
+    assert!(trace[2].rendered.starts_with("emit"));
+    assert!(trace.iter().all(|e| e.function == "p"));
+}
+
+#[test]
+fn trace_cap_is_respected() {
+    let src =
+        "program p\n integer i, s\n s = 0\n do i = 1, 100\n s = s + i\n enddo\n print s\nend\n";
+    let prog = compile(src).unwrap();
+    let (r, trace) = run_traced(&prog, &Limits::default(), 10);
+    assert!(r.is_ok());
+    assert_eq!(trace.len(), 10);
+}
+
+#[test]
+fn traced_run_matches_untraced_run() {
+    let src = "program p\n integer a(1:5)\n integer i\n do i = 1, 5\n a(i) = i * i\n enddo\n print a(4)\nend\n";
+    let prog = compile(src).unwrap();
+    let plain = run(&prog, &Limits::default()).unwrap();
+    let (traced, events) = run_traced(&prog, &Limits::default(), 1000);
+    assert_eq!(plain, traced.unwrap());
+    assert!(events.iter().any(|e| e.rendered.contains("Check (")));
+    assert!(events.iter().any(|e| e.rendered.contains("a(i)")));
+}
+
+#[test]
+fn trace_captures_path_to_trap() {
+    let src = "program p\n integer a(1:3)\n integer i\n do i = 1, 5\n a(i) = i\n enddo\nend\n";
+    let prog = compile(src).unwrap();
+    let (r, trace) = run_traced(&prog, &Limits::default(), 1000);
+    assert!(r.unwrap().trap.is_some());
+    // the last recorded event is the failing check
+    assert!(trace.last().unwrap().rendered.contains("Check ("));
+}

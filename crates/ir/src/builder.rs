@@ -1,0 +1,225 @@
+//! Programmatic construction of functions and programs, used by tests,
+//! examples and the benchmark harness when a source-level program would be
+//! overkill.
+
+use crate::cfg::{Block, BlockId, Function, Program};
+use crate::expr::{Expr, Ty};
+use crate::stmt::{ArrayId, ArrayInfo, FuncId, Param, Stmt, Terminator, VarId, VarInfo};
+
+/// Incremental builder for a single [`Function`].
+///
+/// # Example
+///
+/// ```
+/// use nascent_ir::{FunctionBuilder, Ty, Expr, Stmt, Terminator};
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let i = b.var("i", Ty::Int);
+/// let entry = b.entry();
+/// b.push(entry, Stmt::assign(i, Expr::int(0)));
+/// b.terminate(entry, Terminator::Return);
+/// let f = b.finish();
+/// assert_eq!(f.vars.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an empty entry block.
+    pub fn new(name: impl Into<String>) -> FunctionBuilder {
+        FunctionBuilder {
+            func: Function::new(name),
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        self.func.entry
+    }
+
+    /// Declares a scalar variable.
+    pub fn var(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        let id = VarId(self.func.vars.len() as u32);
+        self.func.vars.push(VarInfo {
+            name: name.into(),
+            ty,
+        });
+        id
+    }
+
+    /// Declares an array with `(lower, upper)` bounds per dimension.
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        dims: Vec<(Expr, Expr)>,
+    ) -> ArrayId {
+        let id = ArrayId(self.func.arrays.len() as u32);
+        self.func.arrays.push(ArrayInfo {
+            name: name.into(),
+            ty,
+            dims,
+        });
+        id
+    }
+
+    /// Marks a previously declared variable as a by-value scalar parameter.
+    pub fn scalar_param(&mut self, v: VarId) {
+        self.func.params.push(Param::Scalar(v));
+    }
+
+    /// Marks a previously declared array as a by-reference parameter.
+    pub fn array_param(&mut self, a: ArrayId) {
+        self.func.params.push(Param::Array(a));
+    }
+
+    /// Adds a fresh block (default terminator `Return`).
+    pub fn block(&mut self) -> BlockId {
+        self.func.add_block(Block::default())
+    }
+
+    /// Appends a statement to a block.
+    pub fn push(&mut self, b: BlockId, stmt: Stmt) {
+        self.func.block_mut(b).stmts.push(stmt);
+    }
+
+    /// Sets a block's terminator.
+    pub fn terminate(&mut self, b: BlockId, term: Terminator) {
+        self.func.block_mut(b).term = term;
+    }
+
+    /// Shorthand: terminate with an unconditional jump.
+    pub fn jump(&mut self, from: BlockId, to: BlockId) {
+        self.terminate(from, Terminator::Jump(to));
+    }
+
+    /// Shorthand: terminate with a branch.
+    pub fn branch(&mut self, from: BlockId, cond: Expr, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(
+            from,
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        );
+    }
+
+    /// Builds a counted loop `for var = lo..=hi` around the blocks produced
+    /// by `body`, wiring `current` to the loop and returning the exit block.
+    ///
+    /// The body callback receives the builder and the first body block and
+    /// must return the last body block (whose terminator is overwritten to
+    /// jump to the latch).
+    pub fn counted_loop(
+        &mut self,
+        current: BlockId,
+        var: VarId,
+        lo: Expr,
+        hi: Expr,
+        body: impl FnOnce(&mut FunctionBuilder, BlockId) -> BlockId,
+    ) -> BlockId {
+        let header = self.block();
+        let body_bb = self.block();
+        let exit = self.block();
+        self.push(current, Stmt::assign(var, lo));
+        self.jump(current, header);
+        self.branch(
+            header,
+            Expr::bin(crate::expr::BinOp::Le, Expr::var(var), hi),
+            body_bb,
+            exit,
+        );
+        let last = body(self, body_bb);
+        let latch = self.block();
+        self.jump(last, latch);
+        self.push(
+            latch,
+            Stmt::assign(var, Expr::add(Expr::var(var), Expr::int(1))),
+        );
+        self.jump(latch, header);
+        exit
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+/// Builder for multi-function [`Program`]s with by-name call resolution.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Function>,
+}
+
+impl ProgramBuilder {
+    /// An empty program builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Looks up a function id by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Finishes the program with `main` as entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `main` is out of range.
+    pub fn finish(self, main: FuncId) -> Program {
+        assert!(main.index() < self.functions.len(), "bad main id");
+        Program {
+            functions: self.functions,
+            main,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut b = FunctionBuilder::new("loops");
+        let i = b.var("i", Ty::Int);
+        let x = b.var("x", Ty::Int);
+        let entry = b.entry();
+        let exit = b.counted_loop(entry, i, Expr::int(1), Expr::int(10), |b, body| {
+            b.push(body, Stmt::assign(x, Expr::var(i)));
+            body
+        });
+        b.terminate(exit, Terminator::Return);
+        let f = b.finish();
+        // entry, header, body, exit, latch
+        assert_eq!(f.blocks.len(), 5);
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo.len(), 5);
+    }
+
+    #[test]
+    fn program_builder_lookup() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(Function::new("main"));
+        pb.add(Function::new("helper"));
+        assert_eq!(pb.lookup("helper"), Some(FuncId(1)));
+        assert_eq!(pb.lookup("nope"), None);
+        let p = pb.finish(main);
+        assert_eq!(p.main_function().name, "main");
+    }
+}

@@ -1,0 +1,277 @@
+//! Control-flow graph: blocks, functions and programs.
+
+use std::fmt;
+
+use crate::stmt::{ArrayInfo, FuncId, Param, Stmt, Terminator, VarInfo};
+
+/// Index of a basic block within its [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A basic block: straight-line statements plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The statements, executed in order.
+    pub stmts: Vec<Stmt>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block jumping to `target`.
+    pub fn jumping_to(target: BlockId) -> Block {
+        Block {
+            stmts: Vec::new(),
+            term: Terminator::Jump(target),
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block {
+            stmts: Vec::new(),
+            term: Terminator::Return,
+        }
+    }
+}
+
+/// A function: scalar variables, arrays, parameters and a CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Source-level name.
+    pub name: String,
+    /// Formal parameters, in call order.
+    pub params: Vec<Param>,
+    /// Scalar variable table.
+    pub vars: Vec<VarInfo>,
+    /// Array table.
+    pub arrays: Vec<ArrayInfo>,
+    /// Basic blocks; [`BlockId`] indexes into this vector.
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// Creates an empty function with a single `Return` block as entry.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            blocks: vec![Block::default()],
+            entry: BlockId(0),
+        }
+    }
+
+    /// Shared access to a block.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Appends a fresh block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(block);
+        id
+    }
+
+    /// All block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Successors of `b` in branch order.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        self.block(b).term.successors()
+    }
+
+    /// Predecessor lists for every block, indexed by block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from entry, in reverse post-order.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // iterative DFS with explicit successor cursor
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some(frame) = stack.last_mut() {
+            let b = frame.0;
+            let succs = self.successors(b);
+            if frame.1 < succs.len() {
+                let s = succs[frame.1];
+                frame.1 += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Splits the CFG edge `from -> to`, inserting and returning a fresh
+    /// empty block on the edge. All other edges are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from -> to` is not an edge.
+    pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        assert!(
+            self.successors(from).contains(&to),
+            "split_edge: {from} -> {to} is not an edge"
+        );
+        let mid = self.add_block(Block::jumping_to(to));
+        self.block_mut(from).term.retarget(to, mid);
+        mid
+    }
+
+    /// Total number of statements across all blocks.
+    pub fn stmt_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+
+    /// Number of `Check` statements across all blocks.
+    pub fn check_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.stmts.iter().filter(|s| s.is_check()).count())
+            .sum()
+    }
+}
+
+/// A whole program: functions plus the designated main function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// All functions; [`FuncId`] indexes into this vector.
+    pub functions: Vec<Function>,
+    /// The entry function.
+    pub main: FuncId,
+}
+
+impl Program {
+    /// A program with a single main function.
+    pub fn single(f: Function) -> Program {
+        Program {
+            functions: vec![f],
+            main: FuncId(0),
+        }
+    }
+
+    /// Shared access to a function.
+    pub fn function(&self, f: FuncId) -> &Function {
+        &self.functions[f.index()]
+    }
+
+    /// Mutable access to a function.
+    pub fn function_mut(&mut self, f: FuncId) -> &mut Function {
+        &mut self.functions[f.index()]
+    }
+
+    /// The main function.
+    pub fn main_function(&self) -> &Function {
+        self.function(self.main)
+    }
+
+    /// Total static statement count.
+    pub fn stmt_count(&self) -> usize {
+        self.functions.iter().map(Function::stmt_count).sum()
+    }
+
+    /// Total static check count.
+    pub fn check_count(&self) -> usize {
+        self.functions.iter().map(Function::check_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn diamond() -> Function {
+        let mut f = Function::new("d");
+        // entry(0) -> {1, 2} -> 3(return)
+        let b3 = f.add_block(Block::default());
+        let b1 = f.add_block(Block::jumping_to(b3));
+        let b2 = f.add_block(Block::jumping_to(b3));
+        f.block_mut(BlockId(0)).term = Terminator::Branch {
+            cond: Expr::int(1),
+            then_bb: b1,
+            else_bb: b2,
+        };
+        f
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond();
+        assert_eq!(f.successors(BlockId(0)), vec![BlockId(2), BlockId(3)]);
+        let preds = f.predecessors();
+        assert_eq!(preds[1].len(), 2); // join block
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        // join block last
+        assert_eq!(*rpo.last().unwrap(), BlockId(1));
+    }
+
+    #[test]
+    fn split_edge_preserves_paths() {
+        let mut f = diamond();
+        let n_before = f.blocks.len();
+        let mid = f.split_edge(BlockId(0), BlockId(2));
+        assert_eq!(f.blocks.len(), n_before + 1);
+        assert!(f.successors(BlockId(0)).contains(&mid));
+        assert_eq!(f.successors(mid), vec![BlockId(2)]);
+        // other edge untouched
+        assert!(f.successors(BlockId(0)).contains(&BlockId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn split_non_edge_panics() {
+        let mut f = diamond();
+        f.split_edge(BlockId(1), BlockId(2));
+    }
+}

@@ -1,0 +1,267 @@
+//! Canonical range checks (§2.2 of the paper).
+//!
+//! Every source-level bound test `if (not (subscript <= upper)) TRAP` /
+//! `if (not (subscript >= lower)) TRAP` is expressed as
+//! `Check (range-expression <= range-constant)`: the range expression holds
+//! every symbolic term (in canonical order) and all literal constants fold
+//! into the range constant. Lower-bound checks negate both sides first, so a
+//! single `<=` shape covers everything.
+
+use std::fmt;
+
+use crate::expr::{BinOp, Expr};
+use crate::linform::LinForm;
+use crate::stmt::VarId;
+
+/// The canonical inequality `form <= bound`.
+///
+/// Invariant: `form.constant_part() == 0` — the constructor folds any
+/// constant part of the form into the bound.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CheckExpr {
+    form: LinForm,
+    bound: i64,
+}
+
+impl CheckExpr {
+    /// Builds the canonical check `form <= bound`, folding the form's
+    /// constant part into the bound.
+    pub fn new(form: LinForm, bound: i64) -> CheckExpr {
+        let c = form.constant_part();
+        let mut f = form;
+        f.set_constant(0);
+        CheckExpr {
+            form: f,
+            bound: bound.wrapping_sub(c),
+        }
+    }
+
+    /// Canonicalizes `subscript <= limit` (an upper-bound check): the
+    /// symbolic parts of `limit` move to the left with negated sign.
+    pub fn upper(subscript: &Expr, limit: &Expr) -> CheckExpr {
+        let lhs = LinForm::from_expr(subscript).sub(&LinForm::from_expr(limit));
+        CheckExpr::new(lhs, 0)
+    }
+
+    /// Canonicalizes `subscript >= limit` (a lower-bound check) by negating
+    /// both sides into `-subscript <= -limit` form.
+    pub fn lower(subscript: &Expr, limit: &Expr) -> CheckExpr {
+        let lhs = LinForm::from_expr(limit).sub(&LinForm::from_expr(subscript));
+        CheckExpr::new(lhs, 0)
+    }
+
+    /// The (constant-free) range expression.
+    pub fn form(&self) -> &LinForm {
+        &self.form
+    }
+
+    /// The range constant.
+    pub fn bound(&self) -> i64 {
+        self.bound
+    }
+
+    /// The family key: the range expression. Checks in the same family are
+    /// totally ordered by their bound (smaller bound = stronger check).
+    pub fn family_key(&self) -> &LinForm {
+        &self.form
+    }
+
+    /// Same check with a different range constant.
+    pub fn with_bound(&self, bound: i64) -> CheckExpr {
+        CheckExpr {
+            form: self.form.clone(),
+            bound,
+        }
+    }
+
+    /// True if the check is a compile-time constant inequality.
+    pub fn is_constant(&self) -> bool {
+        self.form.is_constant()
+    }
+
+    /// For a constant check, whether it holds (`0 <= bound`).
+    pub fn constant_verdict(&self) -> Option<bool> {
+        if self.is_constant() {
+            Some(0 <= self.bound)
+        } else {
+            None
+        }
+    }
+
+    /// True if `self` implies `other` *within the same family*:
+    /// identical range expression and `self.bound <= other.bound`.
+    pub fn implies_in_family(&self, other: &CheckExpr) -> bool {
+        self.form == other.form && self.bound <= other.bound
+    }
+
+    /// Materializes the check as the boolean expression `form <= bound`.
+    pub fn to_expr(&self) -> Expr {
+        Expr::bin(BinOp::Le, self.form.to_expr(), Expr::int(self.bound))
+    }
+
+    /// Variables whose definitions kill this check.
+    pub fn vars(&self) -> Vec<VarId> {
+        self.form.vars()
+    }
+}
+
+impl fmt::Display for CheckExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= {}", self.form, self.bound)
+    }
+}
+
+/// A (possibly conditional) range-check statement.
+///
+/// An empty guard list is an ordinary check. A non-empty list is the
+/// paper's `Cond-check ((g₁, …), e <= c)`: the check is performed only when
+/// every guard inequality holds (guards arise from hoisting a check past a
+/// loop whose trip count is not known to be positive).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Check {
+    /// Conjunction of guard inequalities; empty means unconditional.
+    pub guards: Vec<CheckExpr>,
+    /// The check proper.
+    pub cond: CheckExpr,
+}
+
+impl Check {
+    /// An unconditional check.
+    pub fn unconditional(cond: CheckExpr) -> Check {
+        Check {
+            guards: Vec::new(),
+            cond,
+        }
+    }
+
+    /// A conditional check with the given guards.
+    pub fn conditional(guards: Vec<CheckExpr>, cond: CheckExpr) -> Check {
+        Check { guards, cond }
+    }
+
+    /// True if the check has no guards.
+    pub fn is_unconditional(&self) -> bool {
+        self.guards.is_empty()
+    }
+
+    /// All variables referenced by guards or the check itself.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut vs = self.cond.vars();
+        for g in &self.guards {
+            vs.extend(g.vars());
+        }
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// Dynamic-instruction cost of evaluating the guards (the check proper
+    /// is counted in the dynamic check counter instead).
+    pub fn guard_cost(&self) -> u64 {
+        self.guards.len() as u64
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.guards.is_empty() {
+            write!(f, "Check ({})", self.cond)
+        } else {
+            write!(f, "Cond-check ((")?;
+            for (i, g) in self.guards.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+            write!(f, "), {})", self.cond)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn paper_upper_example() {
+        // if (not (i+1 <= 4*N)) TRAP  ==>  Check (i - 4*N <= -1)
+        let c = CheckExpr::upper(
+            &Expr::add(Expr::var(v(0)), Expr::int(1)),
+            &Expr::mul(Expr::int(4), Expr::var(v(1))),
+        );
+        assert_eq!(c.bound(), -1);
+        assert_eq!(c.form().coeff_of_var(v(0)), 1);
+        assert_eq!(c.form().coeff_of_var(v(1)), -4);
+    }
+
+    #[test]
+    fn paper_lower_example() {
+        // if (not (i+1 >= 4)) TRAP  ==>  Check (-i <= -3)
+        let c = CheckExpr::lower(&Expr::add(Expr::var(v(0)), Expr::int(1)), &Expr::int(4));
+        assert_eq!(c.bound(), -3);
+        assert_eq!(c.form().coeff_of_var(v(0)), -1);
+    }
+
+    #[test]
+    fn figure1_same_family() {
+        // Check (2*N <= 10) and Check (2*N - 1 <= 10) share a family;
+        // the former (bound 10) is stronger than the latter (bound 11).
+        let c2 = CheckExpr::upper(&Expr::mul(Expr::int(2), Expr::var(v(0))), &Expr::int(10));
+        let c4 = CheckExpr::upper(
+            &Expr::sub(Expr::mul(Expr::int(2), Expr::var(v(0))), Expr::int(1)),
+            &Expr::int(10),
+        );
+        assert_eq!(c2.family_key(), c4.family_key());
+        assert!(c2.implies_in_family(&c4));
+        assert!(!c4.implies_in_family(&c2));
+        assert_eq!(c2.bound(), 10);
+        assert_eq!(c4.bound(), 11);
+    }
+
+    #[test]
+    fn figure1_lower_family() {
+        // C1: 2*N >= 5  -> -2N <= -5 ;  C3: 2*N-1 >= 5 -> -2N <= -6
+        let c1 = CheckExpr::lower(&Expr::mul(Expr::int(2), Expr::var(v(0))), &Expr::int(5));
+        let c3 = CheckExpr::lower(
+            &Expr::sub(Expr::mul(Expr::int(2), Expr::var(v(0))), Expr::int(1)),
+            &Expr::int(5),
+        );
+        assert_eq!(c1.family_key(), c3.family_key());
+        assert!(c3.implies_in_family(&c1));
+        assert_eq!(c1.bound(), -5);
+        assert_eq!(c3.bound(), -6);
+    }
+
+    #[test]
+    fn constant_checks_fold() {
+        let ok = CheckExpr::upper(&Expr::int(3), &Expr::int(10));
+        assert_eq!(ok.constant_verdict(), Some(true));
+        let bad = CheckExpr::upper(&Expr::int(30), &Expr::int(10));
+        assert_eq!(bad.constant_verdict(), Some(false));
+        let sym = CheckExpr::upper(&Expr::var(v(0)), &Expr::int(10));
+        assert_eq!(sym.constant_verdict(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let c = CheckExpr::lower(&Expr::var(v(0)), &Expr::int(3));
+        assert_eq!(format!("{}", Check::unconditional(c.clone())), "Check (-v0 <= -3)");
+        let g = CheckExpr::upper(&Expr::int(1), &Expr::var(v(1)));
+        let cc = Check::conditional(vec![g], c);
+        assert!(format!("{cc}").starts_with("Cond-check (("));
+    }
+
+    #[test]
+    fn to_expr_is_le() {
+        let c = CheckExpr::upper(&Expr::var(v(0)), &Expr::int(9));
+        match c.to_expr() {
+            Expr::Binary(BinOp::Le, _, rhs) => assert_eq!(rhs.as_int(), Some(9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

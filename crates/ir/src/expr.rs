@@ -1,0 +1,408 @@
+//! Side-effect-free tree expressions.
+//!
+//! Expressions never contain array accesses: the frontend flattens array
+//! reads into [`Stmt::Load`](crate::Stmt::Load) statements so that range
+//! checks are always statement-level objects that the optimizer can move.
+
+use std::fmt;
+
+use crate::stmt::VarId;
+
+/// Scalar type of a variable or array element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer (Fortran `integer`).
+    Int,
+    /// 64-bit float (Fortran `real` / `double precision`).
+    Real,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "integer"),
+            Ty::Real => write!(f, "real"),
+        }
+    }
+}
+
+/// A totally ordered wrapper for `f64` literals.
+///
+/// Stores the bit pattern so that [`Expr`] can derive `Eq`, `Ord` and
+/// `Hash` (needed because expressions are used as opaque atoms inside
+/// canonical [`LinForm`](crate::LinForm)s). Ordering is IEEE `total_cmp`
+/// order of the encoded value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct R64(u64);
+
+impl R64 {
+    /// Wraps a float.
+    pub fn new(v: f64) -> Self {
+        R64(v.to_bits())
+    }
+
+    /// Returns the wrapped float.
+    pub fn value(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl From<f64> for R64 {
+    fn from(v: f64) -> Self {
+        R64::new(v)
+    }
+}
+
+impl PartialOrd for R64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for R64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.value().total_cmp(&other.value())
+    }
+}
+
+impl fmt::Display for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation (operand is 0/1 integer).
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Integer division truncates toward zero (Fortran semantics).
+    Div,
+    /// Remainder with the sign of the dividend.
+    Mod,
+    Min,
+    Max,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// The comparison with swapped operands, e.g. `<` becomes `>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a comparison.
+    pub fn swapped(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            BinOp::Eq => BinOp::Eq,
+            BinOp::Ne => BinOp::Ne,
+            other => panic!("swapped() on non-comparison {other:?}"),
+        }
+    }
+
+    /// Symbol used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "mod",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// A side-effect-free expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    IntConst(i64),
+    /// Real literal (bit-encoded for total ordering).
+    RealConst(R64),
+    /// Scalar variable reference.
+    Var(VarId),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer literal constructor.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntConst(v)
+    }
+
+    /// Real literal constructor.
+    pub fn real(v: f64) -> Expr {
+        Expr::RealConst(R64::new(v))
+    }
+
+    /// Variable reference constructor.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Builds a binary expression.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)] // static constructor, not `self + rhs`
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Arithmetic negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(e: Expr) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(e))
+    }
+
+    /// Returns the integer literal value if this is an `IntConst`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::IntConst(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Collects the variables referenced by the expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::IntConst(_) | Expr::RealConst(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::Unary(_, e) => e.collect_vars(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// The variables referenced by the expression (may contain duplicates).
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// True if the expression references `v`.
+    pub fn uses_var(&self, v: VarId) -> bool {
+        match self {
+            Expr::IntConst(_) | Expr::RealConst(_) => false,
+            Expr::Var(w) => *w == v,
+            Expr::Unary(_, e) => e.uses_var(v),
+            Expr::Binary(_, l, r) => l.uses_var(v) || r.uses_var(v),
+        }
+    }
+
+    /// Number of operator nodes; the dynamic-instruction cost model charges
+    /// one instruction per operator (literals and variable reads are free,
+    /// matching a naive translation where they fold into operand fields).
+    pub fn cost(&self) -> u64 {
+        match self {
+            Expr::IntConst(_) | Expr::RealConst(_) | Expr::Var(_) => 0,
+            Expr::Unary(_, e) => 1 + e.cost(),
+            Expr::Binary(_, l, r) => 1 + l.cost() + r.cost(),
+        }
+    }
+
+    /// Substitutes `replacement` for every occurrence of variable `v`.
+    pub fn substitute(&self, v: VarId, replacement: &Expr) -> Expr {
+        match self {
+            Expr::IntConst(_) | Expr::RealConst(_) => self.clone(),
+            Expr::Var(w) => {
+                if *w == v {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.substitute(v, replacement))),
+            Expr::Binary(op, l, r) => Expr::Binary(
+                *op,
+                Box::new(l.substitute(v, replacement)),
+                Box::new(r.substitute(v, replacement)),
+            ),
+        }
+    }
+
+    /// Folds integer-constant subtrees bottom-up. Division/modulo by zero is
+    /// left unfolded (it is a run-time matter for the interpreter).
+    pub fn fold(&self) -> Expr {
+        match self {
+            Expr::IntConst(_) | Expr::RealConst(_) | Expr::Var(_) => self.clone(),
+            Expr::Unary(op, e) => {
+                let e = e.fold();
+                if let Expr::IntConst(v) = e {
+                    match op {
+                        UnOp::Neg => return Expr::IntConst(v.wrapping_neg()),
+                        UnOp::Not => return Expr::IntConst(i64::from(v == 0)),
+                    }
+                }
+                Expr::Unary(*op, Box::new(e))
+            }
+            Expr::Binary(op, l, r) => {
+                let l = l.fold();
+                let r = r.fold();
+                if let (Expr::IntConst(a), Expr::IntConst(b)) = (&l, &r) {
+                    if let Some(v) = eval_int_binop(*op, *a, *b) {
+                        return Expr::IntConst(v);
+                    }
+                }
+                Expr::Binary(*op, Box::new(l), Box::new(r))
+            }
+        }
+    }
+}
+
+/// Evaluates an integer binary operation, returning `None` on division or
+/// remainder by zero (and on `Min`/`Max` never — those always succeed).
+pub fn eval_int_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::And => i64::from(a != 0 && b != 0),
+        BinOp::Or => i64::from(a != 0 || b != 0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_constants() {
+        let e = Expr::add(Expr::int(2), Expr::mul(Expr::int(3), Expr::int(4)));
+        assert_eq!(e.fold(), Expr::int(14));
+    }
+
+    #[test]
+    fn fold_leaves_div_by_zero() {
+        let e = Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0));
+        assert_eq!(e.fold(), e);
+    }
+
+    #[test]
+    fn cost_counts_operators() {
+        let v = VarId(0);
+        let e = Expr::add(Expr::var(v), Expr::mul(Expr::int(3), Expr::var(v)));
+        assert_eq!(e.cost(), 2);
+        assert_eq!(Expr::int(5).cost(), 0);
+    }
+
+    #[test]
+    fn substitute_replaces_all_occurrences() {
+        let v = VarId(0);
+        let e = Expr::add(Expr::var(v), Expr::var(v));
+        let s = e.substitute(v, &Expr::int(7));
+        assert_eq!(s.fold(), Expr::int(14));
+    }
+
+    #[test]
+    fn vars_are_collected() {
+        let v = VarId(3);
+        let w = VarId(5);
+        let e = Expr::sub(Expr::var(v), Expr::neg(Expr::var(w)));
+        let mut vs = e.vars();
+        vs.sort();
+        assert_eq!(vs, vec![v, w]);
+        assert!(e.uses_var(v));
+        assert!(!e.uses_var(VarId(9)));
+    }
+
+    #[test]
+    fn r64_total_order() {
+        assert!(R64::new(1.0) < R64::new(2.0));
+        assert_eq!(R64::new(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn swapped_comparisons() {
+        assert_eq!(BinOp::Lt.swapped(), BinOp::Gt);
+        assert_eq!(BinOp::Ge.swapped(), BinOp::Le);
+        assert_eq!(BinOp::Eq.swapped(), BinOp::Eq);
+    }
+
+    #[test]
+    fn int_binop_semantics() {
+        assert_eq!(eval_int_binop(BinOp::Div, -7, 2), Some(-3)); // trunc toward zero
+        assert_eq!(eval_int_binop(BinOp::Mod, -7, 2), Some(-1));
+        assert_eq!(eval_int_binop(BinOp::Div, 1, 0), None);
+        assert_eq!(eval_int_binop(BinOp::Max, 3, 9), Some(9));
+        assert_eq!(eval_int_binop(BinOp::And, 2, 0), Some(0));
+    }
+}

@@ -1,0 +1,238 @@
+//! Human-readable printing of IR entities, in the paper's notation where
+//! one exists (`Check (...)`, `Cond-check ((...), ...)`).
+
+use std::fmt;
+
+use crate::cfg::{BlockId, Function, Program};
+use crate::expr::Expr;
+use crate::stmt::{Arg, Stmt, Terminator};
+
+/// Pretty-prints an expression with variable names resolved from `f`.
+pub fn expr_to_string(f: &Function, e: &Expr) -> String {
+    match e {
+        Expr::IntConst(v) => v.to_string(),
+        Expr::RealConst(r) => r.to_string(),
+        Expr::Var(v) => f.vars[v.index()].name.clone(),
+        Expr::Unary(op, inner) => match op {
+            crate::expr::UnOp::Neg => format!("(-{})", expr_to_string(f, inner)),
+            crate::expr::UnOp::Not => format!("(not {})", expr_to_string(f, inner)),
+        },
+        Expr::Binary(op, l, r) => format!(
+            "({} {} {})",
+            expr_to_string(f, l),
+            op.symbol(),
+            expr_to_string(f, r)
+        ),
+    }
+}
+
+/// Pretty-prints one statement.
+pub fn stmt_to_string(f: &Function, s: &Stmt) -> String {
+    match s {
+        Stmt::Assign { var, value } => format!(
+            "{} = {}",
+            f.vars[var.index()].name,
+            expr_to_string(f, value)
+        ),
+        Stmt::Load { var, array, index } => format!(
+            "{} = {}({})",
+            f.vars[var.index()].name,
+            f.arrays[array.index()].name,
+            index
+                .iter()
+                .map(|e| expr_to_string(f, e))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => format!(
+            "{}({}) = {}",
+            f.arrays[array.index()].name,
+            index
+                .iter()
+                .map(|e| expr_to_string(f, e))
+                .collect::<Vec<_>>()
+                .join(", "),
+            expr_to_string(f, value)
+        ),
+        Stmt::Check(c) => check_to_string(f, c),
+        Stmt::Trap { message } => format!("TRAP \"{message}\""),
+        Stmt::Call { callee, args } => format!(
+            "call {}({})",
+            callee,
+            args.iter()
+                .map(|a| match a {
+                    Arg::Scalar(e) => expr_to_string(f, e),
+                    Arg::Array(a) => f.arrays[a.index()].name.clone(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Stmt::Emit(e) => format!("emit {}", expr_to_string(f, e)),
+    }
+}
+
+/// Renders a check (or conditional check) with source-level names, in
+/// the paper's notation.
+pub fn check_to_string(f: &Function, c: &crate::Check) -> String {
+    let one = |ce: &crate::CheckExpr| {
+        format!("{} <= {}", linform_to_string(f, ce.form()), ce.bound())
+    };
+    if c.guards.is_empty() {
+        format!("Check ({})", one(&c.cond))
+    } else {
+        let guards = c
+            .guards
+            .iter()
+            .map(|g| one(g))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("Cond-check (({guards}), {})", one(&c.cond))
+    }
+}
+
+/// Renders a canonical form with source-level variable names.
+pub fn linform_to_string(f: &Function, form: &crate::LinForm) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for (t, c) in form.terms() {
+        if first {
+            if c < 0 {
+                out.push('-');
+            }
+            first = false;
+        } else if c < 0 {
+            out.push_str(" - ");
+        } else {
+            out.push_str(" + ");
+        }
+        let mag = c.unsigned_abs();
+        if mag != 1 {
+            out.push_str(&format!("{mag}*"));
+        }
+        let mut first_atom = true;
+        for a in t.atoms() {
+            if !first_atom {
+                out.push('*');
+            }
+            first_atom = false;
+            match a {
+                crate::Atom::Var(v) => out.push_str(&f.vars[v.index()].name),
+                crate::Atom::Opaque(e) => {
+                    out.push('[');
+                    out.push_str(&expr_to_string(f, e));
+                    out.push(']');
+                }
+            }
+        }
+    }
+    if first {
+        out.push_str(&form.constant_part().to_string());
+    } else if form.constant_part() != 0 {
+        if form.constant_part() < 0 {
+            out.push_str(&format!(" - {}", form.constant_part().unsigned_abs()));
+        } else {
+            out.push_str(&format!(" + {}", form.constant_part()));
+        }
+    }
+    out
+}
+
+/// Wrapper implementing [`fmt::Display`] for a whole function.
+pub struct DisplayFunction<'a>(pub &'a Function);
+
+impl fmt::Display for DisplayFunction<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let f = self.0;
+        writeln!(out, "function {} (entry {})", f.name, f.entry)?;
+        for (i, a) in f.arrays.iter().enumerate() {
+            let dims = a
+                .dims
+                .iter()
+                .map(|(lo, hi)| format!("{}..{}", expr_to_string(f, lo), expr_to_string(f, hi)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(out, "  {} {}[{}]  ; a{}", a.ty, a.name, dims, i)?;
+        }
+        for b in f.block_ids() {
+            writeln!(out, "{b}:")?;
+            for s in &f.block(b).stmts {
+                writeln!(out, "    {}", stmt_to_string(f, s))?;
+            }
+            match &f.block(b).term {
+                Terminator::Jump(t) => writeln!(out, "    goto {t}")?,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => writeln!(
+                    out,
+                    "    if {} goto {then_bb} else {else_bb}",
+                    expr_to_string(f, cond)
+                )?,
+                Terminator::Return => writeln!(out, "    return")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wrapper implementing [`fmt::Display`] for a whole program.
+pub struct DisplayProgram<'a>(pub &'a Program);
+
+impl fmt::Display for DisplayProgram<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for f in &self.0.functions {
+            writeln!(out, "{}", DisplayFunction(f))?;
+        }
+        Ok(())
+    }
+}
+
+/// Lists every check in the function with its block, in the order it
+/// appears; convenient for golden tests.
+pub fn checks_to_strings(f: &Function) -> Vec<(BlockId, String)> {
+    let mut out = Vec::new();
+    for b in f.block_ids() {
+        for s in &f.block(b).stmts {
+            if let Stmt::Check(c) = s {
+                out.push((b, c.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::check::{Check, CheckExpr};
+    use crate::expr::Ty;
+
+    #[test]
+    fn prints_function() {
+        let mut b = FunctionBuilder::new("p");
+        let i = b.var("i", Ty::Int);
+        let a = b.array("a", Ty::Int, vec![(Expr::int(1), Expr::int(10))]);
+        let e = b.entry();
+        b.push(e, Stmt::assign(i, Expr::int(3)));
+        b.push(
+            e,
+            Stmt::Check(Check::unconditional(CheckExpr::upper(
+                &Expr::var(i),
+                &Expr::int(10),
+            ))),
+        );
+        b.push(e, Stmt::store(a, vec![Expr::var(i)], Expr::int(0)));
+        let f = b.finish();
+        let s = DisplayFunction(&f).to_string();
+        assert!(s.contains("i = 3"));
+        assert!(s.contains("Check ("));
+        assert!(s.contains("a(i) = 0"));
+        assert_eq!(checks_to_strings(&f).len(), 1);
+    }
+}

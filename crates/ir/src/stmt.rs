@@ -1,0 +1,299 @@
+//! Statements, terminators and the entities they reference.
+
+use std::fmt;
+
+use crate::check::Check;
+use crate::expr::{Expr, Ty};
+
+/// Index of a scalar variable within its [`Function`](crate::Function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable's index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of an array within its [`Function`](crate::Function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// The array's index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Index of a function within its [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The function's index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Metadata for a scalar variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source-level name (synthetic temporaries use a `%` prefix).
+    pub name: String,
+    /// Scalar type.
+    pub ty: Ty,
+}
+
+/// Metadata for an array, including its declared bounds per dimension.
+///
+/// Bounds may be symbolic expressions (Fortran adjustable arrays); the
+/// interpreter evaluates them once on function entry and the optimizer
+/// canonicalizes them into check range-expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// Source-level name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// `(lower, upper)` declared bounds, one pair per dimension.
+    pub dims: Vec<(Expr, Expr)>,
+}
+
+impl ArrayInfo {
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// A formal parameter: scalars are passed by value, arrays by reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Param {
+    /// Scalar parameter, bound to the given local variable.
+    Scalar(VarId),
+    /// Array parameter, bound to the given local array slot.
+    Array(ArrayId),
+}
+
+/// An actual argument at a call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arg {
+    /// Scalar argument evaluated in the caller.
+    Scalar(Expr),
+    /// Caller array passed by reference.
+    Array(ArrayId),
+}
+
+/// A statement within a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var := value`.
+    Assign { var: VarId, value: Expr },
+    /// `var := array(index...)` — one scalar read from an array.
+    Load {
+        var: VarId,
+        array: ArrayId,
+        index: Vec<Expr>,
+    },
+    /// `array(index...) := value`.
+    Store {
+        array: ArrayId,
+        index: Vec<Expr>,
+        value: Expr,
+    },
+    /// A range check (possibly conditional); traps when it fails.
+    Check(Check),
+    /// Unconditional trap, produced when a check is proven false at compile
+    /// time (§3, step 5 of the paper).
+    Trap { message: String },
+    /// Call a subroutine. Scalars by value, arrays by reference.
+    Call { callee: FuncId, args: Vec<Arg> },
+    /// Append a value to the program's observable output stream.
+    Emit(Expr),
+}
+
+impl Stmt {
+    /// Convenience constructor for [`Stmt::Assign`].
+    pub fn assign(var: VarId, value: Expr) -> Stmt {
+        Stmt::Assign { var, value }
+    }
+
+    /// Convenience constructor for [`Stmt::Load`].
+    pub fn load(var: VarId, array: ArrayId, index: Vec<Expr>) -> Stmt {
+        Stmt::Load { var, array, index }
+    }
+
+    /// Convenience constructor for [`Stmt::Store`].
+    pub fn store(array: ArrayId, index: Vec<Expr>, value: Expr) -> Stmt {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        }
+    }
+
+    /// The scalar variable this statement defines, if any.
+    ///
+    /// Calls define nothing in the caller: scalars are passed by value and
+    /// checks never mention array contents, so a call kills no checks.
+    pub fn defined_var(&self) -> Option<VarId> {
+        match self {
+            Stmt::Assign { var, .. } | Stmt::Load { var, .. } => Some(*var),
+            _ => None,
+        }
+    }
+
+    /// True if this is a [`Stmt::Check`].
+    pub fn is_check(&self) -> bool {
+        matches!(self, Stmt::Check(_))
+    }
+
+    /// Dynamic-instruction cost of executing this statement once, excluding
+    /// range checks (which are counted separately, following Table 1 of the
+    /// paper). Loads and stores charge their subscript arithmetic, one
+    /// address computation per extra dimension, and the memory operation.
+    pub fn cost(&self) -> u64 {
+        match self {
+            Stmt::Assign { value, .. } => value.cost() + 1,
+            Stmt::Load { index, .. } | Stmt::Store { index, value: _, .. } => {
+                let idx: u64 = index.iter().map(Expr::cost).sum();
+                let addr = index.len().saturating_sub(1) as u64;
+                let val = if let Stmt::Store { value, .. } = self {
+                    value.cost()
+                } else {
+                    0
+                };
+                idx + addr + val + 1
+            }
+            Stmt::Check(_) | Stmt::Trap { .. } => 0,
+            Stmt::Call { args, .. } => {
+                1 + args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::Scalar(e) => e.cost(),
+                        Arg::Array(_) => 0,
+                    })
+                    .sum::<u64>()
+            }
+            Stmt::Emit(e) => e.cost() + 1,
+        }
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(crate::cfg::BlockId),
+    /// Two-way branch on a (0/1 integer) condition.
+    Branch {
+        cond: Expr,
+        then_bb: crate::cfg::BlockId,
+        else_bb: crate::cfg::BlockId,
+    },
+    /// Return from the function.
+    Return,
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<crate::cfg::BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// Dynamic-instruction cost: condition evaluation plus the branch.
+    pub fn cost(&self) -> u64 {
+        match self {
+            Terminator::Jump(_) => 1,
+            Terminator::Branch { cond, .. } => cond.cost() + 1,
+            Terminator::Return => 1,
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to`.
+    pub fn retarget(&mut self, from: crate::cfg::BlockId, to: crate::cfg::BlockId) {
+        match self {
+            Terminator::Jump(b) => {
+                if *b == from {
+                    *b = to;
+                }
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == from {
+                    *then_bb = to;
+                }
+                if *else_bb == from {
+                    *else_bb = to;
+                }
+            }
+            Terminator::Return => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::BlockId;
+
+    #[test]
+    fn defined_var() {
+        let s = Stmt::assign(VarId(2), Expr::int(1));
+        assert_eq!(s.defined_var(), Some(VarId(2)));
+        let s = Stmt::store(ArrayId(0), vec![Expr::int(1)], Expr::int(2));
+        assert_eq!(s.defined_var(), None);
+    }
+
+    #[test]
+    fn costs() {
+        let s = Stmt::assign(VarId(0), Expr::add(Expr::int(1), Expr::int(2)));
+        assert_eq!(s.cost(), 2);
+        let s = Stmt::store(
+            ArrayId(0),
+            vec![Expr::var(VarId(0)), Expr::var(VarId(1))],
+            Expr::int(0),
+        );
+        assert_eq!(s.cost(), 2); // one address op + the store
+        assert_eq!(Terminator::Return.cost(), 1);
+    }
+
+    #[test]
+    fn retarget_rewrites_successors() {
+        let mut t = Terminator::Branch {
+            cond: Expr::int(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        t.retarget(BlockId(2), BlockId(5));
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(5)]);
+    }
+}

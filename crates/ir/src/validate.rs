@@ -1,0 +1,264 @@
+//! Structural validation of IR, used as a sanity gate by tests and after
+//! every optimizer transformation.
+
+use std::fmt;
+
+use crate::cfg::{Function, Program};
+use crate::expr::Expr;
+use crate::stmt::{Arg, Stmt, VarId};
+
+/// A structural defect found by [`validate_function`] or
+/// [`validate_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function name.
+    pub function: String,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function {}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn check_expr_vars(
+    f: &Function,
+    e: &Expr,
+    errs: &mut Vec<ValidateError>,
+    ctx: &str,
+) {
+    for v in e.vars() {
+        if v.index() >= f.vars.len() {
+            errs.push(ValidateError {
+                function: f.name.clone(),
+                message: format!("{ctx}: variable {v} out of range"),
+            });
+        }
+    }
+}
+
+fn check_var(f: &Function, v: VarId, errs: &mut Vec<ValidateError>, ctx: &str) {
+    if v.index() >= f.vars.len() {
+        errs.push(ValidateError {
+            function: f.name.clone(),
+            message: format!("{ctx}: variable {v} out of range"),
+        });
+    }
+}
+
+/// Validates one function: block targets in range, entry valid, every
+/// variable/array reference within the declared tables, array arities
+/// matching their ranks.
+pub fn validate_function(f: &Function) -> Vec<ValidateError> {
+    let mut errs = Vec::new();
+    if f.entry.index() >= f.blocks.len() {
+        errs.push(ValidateError {
+            function: f.name.clone(),
+            message: format!("entry block {} out of range", f.entry),
+        });
+        return errs;
+    }
+    for b in f.block_ids() {
+        for s in f.successors(b) {
+            if s.index() >= f.blocks.len() {
+                errs.push(ValidateError {
+                    function: f.name.clone(),
+                    message: format!("{b} branches to out-of-range {s}"),
+                });
+            }
+        }
+        for (si, stmt) in f.block(b).stmts.iter().enumerate() {
+            let ctx = format!("{b}[{si}]");
+            match stmt {
+                Stmt::Assign { var, value } => {
+                    check_var(f, *var, &mut errs, &ctx);
+                    check_expr_vars(f, value, &mut errs, &ctx);
+                }
+                Stmt::Load { var, array, index } => {
+                    check_var(f, *var, &mut errs, &ctx);
+                    if array.index() >= f.arrays.len() {
+                        errs.push(ValidateError {
+                            function: f.name.clone(),
+                            message: format!("{ctx}: array {array} out of range"),
+                        });
+                    } else if f.arrays[array.index()].rank() != index.len() {
+                        errs.push(ValidateError {
+                            function: f.name.clone(),
+                            message: format!(
+                                "{ctx}: array {} rank {} used with {} subscripts",
+                                f.arrays[array.index()].name,
+                                f.arrays[array.index()].rank(),
+                                index.len()
+                            ),
+                        });
+                    }
+                    for e in index {
+                        check_expr_vars(f, e, &mut errs, &ctx);
+                    }
+                }
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                } => {
+                    if array.index() >= f.arrays.len() {
+                        errs.push(ValidateError {
+                            function: f.name.clone(),
+                            message: format!("{ctx}: array {array} out of range"),
+                        });
+                    } else if f.arrays[array.index()].rank() != index.len() {
+                        errs.push(ValidateError {
+                            function: f.name.clone(),
+                            message: format!(
+                                "{ctx}: array {} rank {} used with {} subscripts",
+                                f.arrays[array.index()].name,
+                                f.arrays[array.index()].rank(),
+                                index.len()
+                            ),
+                        });
+                    }
+                    for e in index {
+                        check_expr_vars(f, e, &mut errs, &ctx);
+                    }
+                    check_expr_vars(f, value, &mut errs, &ctx);
+                }
+                Stmt::Check(c) => {
+                    for v in c.vars() {
+                        check_var(f, v, &mut errs, &ctx);
+                    }
+                }
+                Stmt::Trap { .. } => {}
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        match a {
+                            Arg::Scalar(e) => check_expr_vars(f, e, &mut errs, &ctx),
+                            Arg::Array(id) => {
+                                if id.index() >= f.arrays.len() {
+                                    errs.push(ValidateError {
+                                        function: f.name.clone(),
+                                        message: format!("{ctx}: array arg {id} out of range"),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Stmt::Emit(e) => check_expr_vars(f, e, &mut errs, &ctx),
+            }
+        }
+    }
+    errs
+}
+
+/// Validates every function plus call-site arity and callee ids.
+pub fn validate_program(p: &Program) -> Vec<ValidateError> {
+    let mut errs = Vec::new();
+    if p.main.index() >= p.functions.len() {
+        errs.push(ValidateError {
+            function: "<program>".into(),
+            message: "main function id out of range".into(),
+        });
+        return errs;
+    }
+    for f in &p.functions {
+        errs.extend(validate_function(f));
+        for b in f.block_ids() {
+            for stmt in &f.block(b).stmts {
+                if let Stmt::Call { callee, args } = stmt {
+                    if callee.index() >= p.functions.len() {
+                        errs.push(ValidateError {
+                            function: f.name.clone(),
+                            message: format!("call to out-of-range function {callee}"),
+                        });
+                    } else {
+                        let target = p.function(*callee);
+                        if target.params.len() != args.len() {
+                            errs.push(ValidateError {
+                                function: f.name.clone(),
+                                message: format!(
+                                    "call to {} passes {} args, expected {}",
+                                    target.name,
+                                    args.len(),
+                                    target.params.len()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    errs
+}
+
+/// Panics with a readable report if the program is structurally invalid.
+/// Intended for tests and post-transformation assertions.
+pub fn assert_valid(p: &Program) {
+    let errs = validate_program(p);
+    assert!(
+        errs.is_empty(),
+        "invalid program:\n{}",
+        errs.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::cfg::BlockId;
+    use crate::expr::Ty;
+    use crate::stmt::Terminator;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("ok");
+        let i = b.var("i", Ty::Int);
+        let e = b.entry();
+        b.push(e, Stmt::assign(i, Expr::int(1)));
+        b.terminate(e, Terminator::Return);
+        assert!(validate_function(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn detects_out_of_range_var() {
+        let mut b = FunctionBuilder::new("bad");
+        let e = b.entry();
+        b.push(e, Stmt::assign(VarId(7), Expr::int(1)));
+        let errs = validate_function(&b.finish());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("out of range"));
+    }
+
+    #[test]
+    fn detects_bad_branch_target() {
+        let mut b = FunctionBuilder::new("bad");
+        let e = b.entry();
+        b.terminate(e, Terminator::Jump(BlockId(99)));
+        let errs = validate_function(&b.finish());
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn detects_rank_mismatch() {
+        let mut b = FunctionBuilder::new("bad");
+        let a = b.array(
+            "a",
+            Ty::Int,
+            vec![(Expr::int(1), Expr::int(5)), (Expr::int(1), Expr::int(5))],
+        );
+        let e = b.entry();
+        b.push(e, Stmt::store(a, vec![Expr::int(1)], Expr::int(0)));
+        b.terminate(e, Terminator::Return);
+        let errs = validate_function(&b.finish());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("rank"));
+    }
+}

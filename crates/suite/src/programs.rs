@@ -1,0 +1,441 @@
+//! The ten benchmark kernels. Each function renders MiniF source at the
+//! requested [`Scale`]; sizes are chosen so the paper-scale suite runs in
+//! seconds under the instrumented interpreter while still executing
+//! hundreds of thousands to millions of dynamic instructions.
+
+use crate::Scale;
+
+fn pick(scale: Scale, small: u32, paper: u32) -> u32 {
+    match scale {
+        Scale::Small => small,
+        Scale::Paper => paper,
+    }
+}
+
+/// `vortex` (Mendez): 2-D point-vortex dynamics. Dense 1-D sweeps with
+/// many same-subscript accesses per iteration — high redundancy even for
+/// `NI`, near-total elimination under `LLS`.
+pub fn vortex(scale: Scale) -> String {
+    let n = pick(scale, 16, 400);
+    let nt = pick(scale, 3, 60);
+    format!(
+        "subroutine vinit(np, x, y, u, v)
+ integer np, i
+ real x(1:np), y(1:np), u(1:np), v(1:np)
+ do i = 1, np
+  x(i) = 1.0 * i
+  y(i) = 2.0 * i
+  u(i) = 0.0
+  v(i) = 0.0
+ enddo
+end
+subroutine interact(np, x, y, u, v, s)
+ integer np, i
+ real x(1:np), y(1:np), u(1:np), v(1:np), s(1:np)
+ real dx, dy, r2
+ do i = 1, np
+  s(i) = 0.0
+ enddo
+ do i = 1, np - 1
+  dx = x(i + 1) - x(i)
+  dy = y(i + 1) - y(i)
+  r2 = dx * dx + dy * dy + 1.0
+  u(i) = u(i) + dx / r2
+  v(i) = v(i) + dy / r2
+  s(i) = s(i) + r2
+ enddo
+end
+subroutine advance(np, x, y, u, v)
+ integer np, i
+ real x(1:np), y(1:np), u(1:np), v(1:np)
+ do i = 1, np
+  x(i) = x(i) + u(i) / 100.0
+  y(i) = y(i) + v(i) / 100.0
+ enddo
+end
+program vortex
+ integer np, nt, t
+ real x({n}), y({n}), u({n}), v({n}), s({n})
+ np = {n}
+ nt = {nt}
+ call vinit(np, x, y, u, v)
+ do t = 1, nt
+  call interact(np, x, y, u, v, s)
+  call advance(np, x, y, u, v)
+ enddo
+ print x(1) + y(np) + u(2) + s(3)
+end
+"
+    )
+}
+
+/// `arc2d` (Perfect): implicit aerodynamics — 2-D interior stencil sweeps
+/// with offset subscripts, the archetypal `LLS` winner.
+pub fn arc2d(scale: Scale) -> String {
+    let n = pick(scale, 10, 64);
+    let nt = pick(scale, 2, 12);
+    format!(
+        "subroutine stencil(n, cfl, p, rn)
+ integer n, i, j
+ real cfl, wrk
+ real p(1:n, 1:n), rn(1:n, 1:n)
+ do j = 2, n - 1
+  do i = 2, n - 1
+   wrk = 1.0 * i * cfl + 1.0 * j * cfl + 0.5
+   rn(i, j) = (p(i - 1, j) + p(i + 1, j) + p(i, j - 1) + p(i, j + 1)) * 0.25 + wrk * 0.001
+  enddo
+ enddo
+end
+subroutine update(n, p, q, rn)
+ integer n, i, j
+ real p(1:n, 1:n), q(1:n, 1:n), rn(1:n, 1:n)
+ do j = 2, n - 1
+  do i = 2, n - 1
+   p(i, j) = rn(i, j) + q(i, j) * 0.1
+  enddo
+ enddo
+ do i = 1, n
+  p(i, 1) = p(i, 2)
+  p(i, n) = p(i, n - 1)
+ enddo
+end
+program arc2d
+ integer n, nt, i, j, t
+ real p({n}, {n}), q({n}, {n}), rn({n}, {n})
+ real cfl
+ n = {n}
+ nt = {nt}
+ do j = 1, n
+  do i = 1, n
+   p(i, j) = 1.0 * (i + j)
+   q(i, j) = 0.5 * i
+   rn(i, j) = 0.0
+  enddo
+ enddo
+ do t = 1, nt
+  cfl = 0.2 + 0.001 * t
+  call stencil(n, cfl, p, rn)
+  call update(n, p, q, rn)
+ enddo
+ print p(2, 2) + p(n - 1, n - 1) + rn(3, 3)
+end
+"
+    )
+}
+
+/// `bdna` (Perfect): molecular dynamics of DNA — mixes dense linear
+/// sweeps with *indirect* neighbor-list subscripts (`map(i)`), which can
+/// never be hoisted; `LLS` lands below 100%.
+pub fn bdna(scale: Scale) -> String {
+    let n = pick(scale, 16, 300);
+    let nt = pick(scale, 2, 25);
+    format!(
+        "program bdna
+ integer n, nt, i, t, k
+ integer map({n})
+ real f({n}), g({n}), pos({n}), vel({n}), chg({n})
+ real fi
+ n = {n}
+ nt = {nt}
+ do i = 1, n
+  map(i) = mod(i * 7, n) + 1
+  pos(i) = 0.25 * i
+  f(i) = 0.0
+  g(i) = 1.0 * i
+  vel(i) = 0.0
+  chg(i) = 0.5
+ enddo
+ do t = 1, nt
+  do i = 1, n - 1
+   fi = pos(i) * 0.5 - chg(i) * chg(i + 1)
+   fi = fi * 0.25 + 0.125 * i + 0.5 * t
+   f(i) = f(i) + fi
+   vel(i) = vel(i) + f(i) * 0.001
+   pos(i) = pos(i) + vel(i) * 0.001
+   g(i) = g(i) * 0.999 + f(i) * 0.01
+  enddo
+  do i = 1, n
+   k = map(i)
+   f(k) = f(k) + g(i) * 0.125
+  enddo
+ enddo
+ print f(1) + f(n) + g(2) + pos(3)
+end
+"
+    )
+}
+
+/// `dyfesm` (Perfect): structural dynamics finite elements — conditional
+/// element updates create *partially* redundant checks: one branch does
+/// no array access, so `NI` keeps the join checks while `SE`/`LNI` hoist
+/// them above the branch.
+pub fn dyfesm(scale: Scale) -> String {
+    let n = pick(scale, 16, 280);
+    let nt = pick(scale, 3, 30);
+    format!(
+        "subroutine elements(n, disp, vel, acc, stats)
+ integer n, i
+ real disp(1:n), vel(1:n), acc(1:n)
+ integer stats(1:2)
+ do i = 1, n
+  if (mod(i, 4) == 0) then
+   acc(i) = disp(i) * 0.5
+  else
+   stats(1) = stats(1) + 1
+  endif
+  vel(i) = vel(i) + acc(i) * 0.01
+  disp(i) = disp(i) + vel(i) * 0.01
+ enddo
+end
+program dyfesm
+ integer n, nt, i, t
+ integer stats(1:2)
+ real disp({n}), vel({n}), acc({n})
+ n = {n}
+ nt = {nt}
+ stats(1) = 0
+ do i = 1, n
+  disp(i) = 0.5 * i
+  vel(i) = 0.0
+  acc(i) = 0.0
+ enddo
+ do t = 1, nt
+  call elements(n, disp, vel, acc, stats)
+ enddo
+ print disp(1) + vel(n) + 1.0 * stats(1)
+end
+"
+    )
+}
+
+/// `mdg` (Perfect): molecular dynamics of water — triangular pair loop
+/// with a cutoff conditional; the conditional force update uses a
+/// different subscript family (`i + j`), so its checks survive hoisting.
+pub fn mdg(scale: Scale) -> String {
+    let n = pick(scale, 12, 90);
+    let nt = pick(scale, 2, 6);
+    let n2 = 2 * n;
+    format!(
+        "subroutine pairs(n, pos, frc, eng)
+ integer n, i, j
+ real pos(1:n), frc(1:2*n), eng(1:n)
+ real dx
+ do i = 1, n - 1
+  do j = i + 1, n
+   dx = pos(i) - pos(j)
+   eng(j) = eng(j) + dx * dx * 0.001
+   if (dx * dx < 0.05) then
+    frc(i + j) = frc(i + j) + dx
+   endif
+  enddo
+ enddo
+end
+program mdg
+ integer n, nt, i, t
+ real pos({n}), frc({n2}), eng({n})
+ n = {n}
+ nt = {nt}
+ do i = 1, n
+  pos(i) = 0.1 * i
+ enddo
+ do i = 1, 2 * n
+  frc(i) = 0.0
+ enddo
+ do i = 1, n
+  eng(i) = 0.0
+ enddo
+ do t = 1, nt
+  call pairs(n, pos, frc, eng)
+ enddo
+ print frc(3) + frc(2 * n - 1) + pos(n) + eng(n)
+end
+"
+    )
+}
+
+/// `qcd` (Perfect): lattice gauge theory — periodic wraparound subscripts
+/// through `mod` are opaque to the canonical form and stay in the loop.
+pub fn qcd(scale: Scale) -> String {
+    let n = pick(scale, 16, 256);
+    let nt = pick(scale, 3, 40);
+    format!(
+        "program qcd
+ integer n, nt, i, j, jp, t
+ real link({n}), fld({n})
+ n = {n}
+ nt = {nt}
+ do i = 1, n
+  link(i) = 1.0 * i
+  fld(i) = 0.0
+ enddo
+ do t = 1, nt
+  do j = 1, n - 1
+   fld(j) = fld(j) + link(j) * link(j + 1) / 1000.0
+   link(j) = link(j) * 0.9999 + fld(j) * 0.0001
+  enddo
+  do j = 1, n, 4
+   jp = mod(j, n) + 1
+   fld(j) = fld(j) + link(jp) / 1000.0
+  enddo
+ enddo
+ print fld(1) + fld(n) + link(2)
+end
+"
+    )
+}
+
+/// `spec77` (Perfect): spectral weather simulation — the outer time loop
+/// is a `while` with a compound convergence condition, which blocks
+/// hoisting past it; inner sweeps still hoist to their own preheaders and
+/// re-execute them every outer iteration.
+pub fn spec77(scale: Scale) -> String {
+    let n = pick(scale, 16, 220);
+    let nt = pick(scale, 3, 35);
+    format!(
+        "program spec77
+ integer n, nt, i, t
+ real wave({n}), spct({n}), err
+ n = {n}
+ nt = {nt}
+ do i = 1, n
+  wave(i) = 1.0 * i
+  spct(i) = 0.0
+ enddo
+ t = 0
+ err = 1000.0
+ while (t < nt and err > 0.5)
+  do i = 2, n - 1
+   spct(i) = (wave(i - 1) + wave(i + 1)) * 0.5
+  enddo
+  do i = 2, n - 1
+   wave(i) = wave(i) * 0.9 + spct(i) * 0.1
+  enddo
+  err = err * 0.8
+  t = t + 1
+ endwhile
+ print wave(2) + spct(n - 1) + err
+end
+"
+    )
+}
+
+/// `trfd` (Perfect): two-electron integral transformation — triangular
+/// loops over a flattened triangle with an `ij = ij + 1` accumulator
+/// (polynomial in the outer loop: never hoistable), plus an invariant
+/// expression assigned *inside* the loop (`kk = n * 2`), which only the
+/// INX rewrite exposes to `LI` — the paper's trfd INX-vs-PRX gap.
+pub fn trfd(scale: Scale) -> String {
+    let n = pick(scale, 12, 120);
+    let tri = n * (n + 1) / 2;
+    let m = 2 * n + 1;
+    format!(
+        "program trfd
+ integer n, i, j, ij, kk
+ real v({tri}), w({m}), x({m}), y({m})
+ real val
+ n = {n}
+ ij = 0
+ do i = 1, n
+  kk = n * 2
+  do j = 1, i
+   ij = ij + 1
+   val = 1.0 * (i + j) * 0.5 + 0.25 * i - 0.125 * j
+   v(ij) = val + val * 0.001
+   w(j) = w(j) + x(j) / 100.0
+   x(j) = x(j) * 0.999 + w(j) * 0.001
+   y(j) = y(j) + x(i) * 0.01
+   v(kk - n) = v(kk - n) + 0.001
+  enddo
+  w(i) = w(i) + 0.5
+ enddo
+ print w(n) + v(1) + v(n) + x(2) + y(2)
+end
+"
+    )
+}
+
+/// `linpackd` (Riceps): LINPACK-style elimination built on a `daxpy`
+/// subroutine with adjustable (symbolic-bound) array parameters — checks
+/// in the callee are against symbolic bounds.
+pub fn linpackd(scale: Scale) -> String {
+    let n = pick(scale, 24, 320);
+    let k = pick(scale, 4, 48);
+    format!(
+        "subroutine daxpy(n, k, da, dx, dy)
+ integer n, k, i
+ real da
+ real dx(1:n), dy(1:n)
+ do i = k, n
+  dy(i) = dy(i) + da * dx(i)
+ enddo
+end
+program linpackd
+ integer n, j
+ integer i
+ real a({n}), b({n})
+ real t
+ n = {n}
+ do i = 1, n
+  a(i) = 1.0 * i
+  b(i) = 0.5 * i
+ enddo
+ do j = 1, {k}
+  t = 1.0 / (1.0 * j)
+  call daxpy(n, j, t, a, b)
+ enddo
+ print b(1) + b(n)
+end
+"
+    )
+}
+
+/// `simple` (Riceps): 2-D Lagrangian hydrodynamics — large dense sweeps
+/// over 2-D arrays inside a time loop; the highest elimination rates in
+/// the paper.
+pub fn simple(scale: Scale) -> String {
+    let n = pick(scale, 10, 48);
+    let nt = pick(scale, 2, 14);
+    format!(
+        "subroutine energy(n, hq, r, z, e)
+ integer n, i, j
+ real hq, hk
+ real r(1:n, 1:n), z(1:n, 1:n), e(1:n, 1:n)
+ do j = 1, n
+  do i = 1, n
+   hk = 1.0 * i * hq + 1.0 * j
+   e(i, j) = e(i, j) + (r(i, j) * z(i, j) + hk * 0.5) / 1000.0
+  enddo
+ enddo
+end
+subroutine lagrange(n, r, e)
+ integer n, i, j
+ real r(1:n, 1:n), e(1:n, 1:n)
+ do j = 2, n
+  do i = 2, n
+   r(i, j) = r(i, j) + e(i - 1, j - 1) * 0.01
+  enddo
+ enddo
+end
+program simple
+ integer n, nt, i, j, t
+ real r({n}, {n}), z({n}, {n}), e({n}, {n})
+ real hq
+ n = {n}
+ nt = {nt}
+ do j = 1, n
+  do i = 1, n
+   r(i, j) = 1.0 * i
+   z(i, j) = 1.0 * j
+   e(i, j) = 0.0
+  enddo
+ enddo
+ do t = 1, nt
+  hq = 0.001 * t + 0.1
+  call energy(n, hq, r, z, e)
+  call lagrange(n, r, e)
+ enddo
+ print e(1, 1) + r(n, n) + z(2, 2)
+end
+"
+    )
+}

@@ -1,0 +1,92 @@
+//! A tour of preheader insertion (§3.3): invariant checks, loop-limit
+//! substitution, nested re-hoisting, guards on possibly-zero-trip loops,
+//! and the cases that must *not* hoist.
+//!
+//! Run with `cargo run --example hoisting_tour`.
+
+use nascent::frontend::compile;
+use nascent::interp::{run, Limits};
+use nascent::ir::pretty::DisplayProgram;
+use nascent::rangecheck::{optimize_program, OptimizeOptions, Scheme};
+
+fn show(title: &str, src: &str) {
+    println!("\n================ {title} ================");
+    let naive_prog = compile(src).expect("valid");
+    let naive = run(&naive_prog, &Limits::default()).expect("runs");
+    let mut prog = compile(src).expect("valid");
+    let stats = optimize_program(&mut prog, &OptimizeOptions::scheme(Scheme::Lls));
+    let opt = run(&prog, &Limits::default()).expect("optimized runs");
+    assert_eq!(opt.output, naive.output);
+    assert_eq!(opt.trap.is_some(), naive.trap.is_some());
+    println!(
+        "dynamic checks: {} -> {}   (hoisted {}, guards evaluated {})",
+        naive.dynamic_checks, opt.dynamic_checks, stats.hoisted, opt.dynamic_guard_ops
+    );
+    println!("{}", DisplayProgram(&prog));
+}
+
+fn main() {
+    show(
+        "nested loops: checks hoist to the outermost preheader",
+        r#"
+program nest
+ integer g(1:40, 1:40)
+ integer i, j, n
+ n = 40
+ do i = 1, n
+  do j = 1, n
+   g(i, j) = i * j
+  enddo
+ enddo
+ print g(n, n)
+end
+"#,
+    );
+
+    show(
+        "possibly-zero-trip loop: the Cond-check guard protects the hoist",
+        r#"
+program guard
+ integer a(1:10)
+ integer i, n, k
+ n = 0
+ k = 77
+ do i = 1, n
+  a(k) = i
+ enddo
+ print 42
+end
+"#,
+    );
+
+    show(
+        "downward loop: substitution uses the lower limit for the upper bound",
+        r#"
+program down
+ integer a(1:30)
+ integer i
+ do i = 30, 1, -1
+  a(i) = i
+ enddo
+ print a(15)
+end
+"#,
+    );
+
+    show(
+        "conditional access: not anticipatable, must stay in the loop",
+        r#"
+program cond
+ integer a(1:10)
+ integer i, k
+ k = 50
+ do i = 1, 10
+  if (i > 100) then
+   a(k) = 0
+  endif
+ enddo
+ print a(1)
+end
+"#,
+    );
+}

@@ -1,0 +1,69 @@
+//! The safety oracle (§3's optimization-preservation criterion) on random
+//! programs: for every generated program and every optimizer
+//! configuration,
+//!
+//! 1. a violation is detected in the optimized program iff it is detected
+//!    in the unoptimized program, and
+//! 2. the optimized program detects it no later.
+//!
+//! Run with `cargo run --example safety_oracle [-- <count>]`.
+
+use nascent::frontend::compile;
+use nascent::interp::{run, Limits, RunError};
+use nascent::rangecheck::{optimize_program, CheckKind, OptimizeOptions, Scheme};
+use nascent::suite::{random_program, GenConfig};
+
+fn main() {
+    let count: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(150);
+    let cfg = GenConfig::default();
+    let limits = Limits {
+        max_steps: 300_000,
+        max_call_depth: 16,
+    };
+    let mut checked = 0u64;
+    let mut trapping = 0u64;
+    for seed in 0..count {
+        let src = random_program(seed, &cfg);
+        let prog = compile(&src).expect("generated programs compile");
+        let naive = match run(&prog, &limits) {
+            Ok(r) => r,
+            Err(RunError::StepLimit | RunError::DivisionByZero { .. }) => continue,
+            Err(e) => panic!("seed {seed}: {e}"),
+        };
+        if naive.trap.is_some() {
+            trapping += 1;
+        }
+        for scheme in Scheme::EACH {
+            for kind in [CheckKind::Prx, CheckKind::Inx] {
+                let mut p = compile(&src).expect("compiles");
+                optimize_program(&mut p, &OptimizeOptions::scheme(scheme).with_kind(kind));
+                let opt = match run(&p, &limits) {
+                    Ok(r) => r,
+                    Err(RunError::StepLimit | RunError::DivisionByZero { .. }) => continue,
+                    Err(e) => panic!("seed {seed} {scheme:?}/{kind:?}: UNSOUND: {e}"),
+                };
+                match (&naive.trap, &opt.trap) {
+                    (Some(nt), Some(ot)) => assert!(
+                        ot.at_progress <= nt.at_progress,
+                        "seed {seed} {scheme:?}: trap DELAYED"
+                    ),
+                    (Some(_), None) => panic!("seed {seed} {scheme:?}: trap LOST"),
+                    (None, Some(ot)) => {
+                        panic!("seed {seed} {scheme:?}: trap INTRODUCED {ot:?}")
+                    }
+                    (None, None) => assert_eq!(
+                        naive.output, opt.output,
+                        "seed {seed} {scheme:?}: output changed"
+                    ),
+                }
+                checked += 1;
+            }
+        }
+    }
+    println!(
+        "oracle passed: {checked} (program, scheme, kind) combinations, {trapping} trapping seeds"
+    );
+}

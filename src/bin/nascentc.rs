@@ -1,0 +1,220 @@
+//! `nascentc` — command-line driver for the nascent-rc range-check
+//! optimizer.
+//!
+//! ```text
+//! nascentc check  <file.mf>                 parse + semantic-check only
+//! nascentc dump   <file.mf> [options]       print the (optimized) IR
+//! nascentc run    <file.mf> [options]       execute with dynamic counters
+//! nascentc stats  <file.mf> [options]       optimizer statistics
+//! nascentc trace  <file.mf> [n] [options]    print the first n executed stmts
+//! nascentc report <file.mf> [options]       per-family before/after report
+//! nascentc compare <file.mf>                all schemes side by side
+//!
+//! options:
+//!   --scheme NI|CS|LNI|SE|LI|LLS|ALL|MCM    placement scheme (default LLS)
+//!   --classic                               classical scalar opts pre-pass
+//!   --inx                                   use induction-expression checks
+//!   --implications all|cross|none           implication ablation
+//!   --no-opt                                keep the naive checks
+//! ```
+
+use std::process::ExitCode;
+
+use nascent::frontend::compile;
+use nascent::interp::{run, Limits};
+use nascent::ir::pretty::DisplayProgram;
+use nascent::rangecheck::{
+    optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("nascentc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    opts: OptimizeOptions,
+    optimize: bool,
+    classic: bool,
+}
+
+fn parse_options(rest: &[String]) -> Result<Options, String> {
+    let mut opts = OptimizeOptions::scheme(Scheme::Lls);
+    let mut optimize = true;
+    let mut classic = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--scheme" => {
+                i += 1;
+                let name = rest.get(i).ok_or("--scheme needs a value")?;
+                opts.scheme = match name.to_ascii_uppercase().as_str() {
+                    "NI" => Scheme::Ni,
+                    "CS" => Scheme::Cs,
+                    "LNI" => Scheme::Lni,
+                    "SE" => Scheme::Se,
+                    "LI" => Scheme::Li,
+                    "LLS" => Scheme::Lls,
+                    "ALL" => Scheme::All,
+                    "MCM" => Scheme::Mcm,
+                    other => return Err(format!("unknown scheme `{other}`")),
+                };
+            }
+            "--inx" => opts.kind = CheckKind::Inx,
+            "--implications" => {
+                i += 1;
+                let mode = rest.get(i).ok_or("--implications needs a value")?;
+                opts.implications = match mode.as_str() {
+                    "all" => ImplicationMode::All,
+                    "cross" => ImplicationMode::CrossFamilyOnly,
+                    "none" => ImplicationMode::None,
+                    other => return Err(format!("unknown implication mode `{other}`")),
+                };
+            }
+            "--no-opt" => optimize = false,
+            "--classic" => classic = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        opts,
+        optimize,
+        classic,
+    })
+}
+
+fn apply(options: &Options, prog: &mut nascent::ir::Program) {
+    if options.classic {
+        for f in &mut prog.functions {
+            nascent::classic::optimize_classic(f);
+        }
+    }
+    if options.optimize {
+        optimize_program(prog, &options.opts);
+    }
+}
+
+fn load(path: &str) -> Result<nascent::ir::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    compile(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let (cmd, file, rest) = match args {
+        [cmd, file, rest @ ..] => (cmd.as_str(), file.as_str(), rest),
+        _ => {
+            return Err("usage: nascentc <check|dump|run|stats|report|compare> <file.mf> [options]"
+                .to_string())
+        }
+    };
+    match cmd {
+        "check" => {
+            load(file)?;
+            println!("{file}: ok");
+            Ok(())
+        }
+        "dump" => {
+            let options = parse_options(rest)?;
+            let mut prog = load(file)?;
+            apply(&options, &mut prog);
+            print!("{}", DisplayProgram(&prog));
+            Ok(())
+        }
+        "run" => {
+            let options = parse_options(rest)?;
+            let mut prog = load(file)?;
+            apply(&options, &mut prog);
+            let r = run(&prog, &Limits::default()).map_err(|e| e.to_string())?;
+            for v in &r.output {
+                println!("{v}");
+            }
+            eprintln!(
+                "instructions: {}   checks: {}   guard-ops: {}",
+                r.dynamic_instructions, r.dynamic_checks, r.dynamic_guard_ops
+            );
+            if let Some(t) = &r.trap {
+                eprintln!(
+                    "TRAP in {} at instruction {}: {}",
+                    t.function, t.at_instruction, t.check
+                );
+            }
+            Ok(())
+        }
+        "stats" => {
+            let options = parse_options(rest)?;
+            let mut prog = load(file)?;
+            if options.classic {
+                for f in &mut prog.functions {
+                    nascent::classic::optimize_classic(f);
+                }
+            }
+            let stats = optimize_program(&mut prog, &options.opts);
+            println!("scheme:            {}", options.opts.scheme.name());
+            println!("static checks:     {} -> {}", stats.static_before, stats.static_after);
+            println!("inserted (PRE):    {}", stats.inserted);
+            println!("hoisted (preheader): {}", stats.hoisted);
+            println!("strengthened:      {}", stats.strengthened);
+            println!("eliminated:        {}", stats.eliminated_static);
+            println!("folded true/false: {}/{}", stats.folded_true, stats.folded_false);
+            println!("families:          {}", stats.families);
+            println!("CIG edges:         {}", stats.cig_edges);
+            println!("dataflow iters:    {}", stats.dataflow_iterations);
+            Ok(())
+        }
+        "trace" => {
+            let (count, rest) = match rest {
+                [n, more @ ..] if n.parse::<usize>().is_ok() => {
+                    (n.parse::<usize>().unwrap(), more)
+                }
+                _ => (50, rest),
+            };
+            let options = parse_options(rest)?;
+            let mut prog = load(file)?;
+            apply(&options, &mut prog);
+            let (r, trace) =
+                nascent::interp::run_traced(&prog, &Limits::default(), count);
+            for e in &trace {
+                println!("{}:{}[{}]  {}", e.function, e.block, e.stmt, e.rendered);
+            }
+            let r = r.map_err(|e| e.to_string())?;
+            if let Some(t) = &r.trap {
+                eprintln!("TRAP in {}: {}", t.function, t.check);
+            }
+            Ok(())
+        }
+        "report" => {
+            let options = parse_options(rest)?;
+            let before = load(file)?;
+            let mut after = load(file)?;
+            apply(&options, &mut after);
+            print!("{}", nascent::rangecheck::report::report(&before, &after));
+            Ok(())
+        }
+        "compare" => {
+            let naive_prog = load(file)?;
+            let naive = run(&naive_prog, &Limits::default()).map_err(|e| e.to_string())?;
+            println!(
+                "naive: {} dynamic checks / {} instructions",
+                naive.dynamic_checks, naive.dynamic_instructions
+            );
+            println!("{:<6} {:>12} {:>10}", "scheme", "dyn checks", "% removed");
+            for scheme in Scheme::EACH.into_iter().chain([Scheme::Mcm]) {
+                let mut prog = load(file)?;
+                optimize_program(&mut prog, &OptimizeOptions::scheme(scheme));
+                let r = run(&prog, &Limits::default()).map_err(|e| e.to_string())?;
+                let pct =
+                    100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);
+                println!("{:<6} {:>12} {:>9.1}%", scheme.name(), r.dynamic_checks, pct);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

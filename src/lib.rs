@@ -1,0 +1,49 @@
+//! `nascent` — facade crate for the `nascent-rc` workspace, a reproduction
+//! of Kolte & Wolfe, *Elimination of Redundant Array Subscript Range
+//! Checks* (PLDI 1995).
+//!
+//! Re-exports the crates of the workspace under stable module names:
+//!
+//! * [`ir`] — CFG-based IR and canonical check forms,
+//! * [`frontend`] — the MiniF (Fortran-like) language,
+//! * [`analysis`] — dominators, loops, SSA, induction variables,
+//! * [`rangecheck`] — the range-check optimizer (the paper's contribution),
+//! * [`interp`] — the instrumented interpreter,
+//! * [`suite`] — the benchmark programs,
+//! * [`cback`] — the instrumented C back end (the paper's measurement
+//!   methodology), cross-validated against the interpreter,
+//! * [`classic`] — traditional scalar optimizations (constant/copy
+//!   propagation, branch folding, DCE, CFG cleanup) usable as a pre-pass.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nascent::frontend::compile;
+//! use nascent::rangecheck::{optimize_program, OptimizeOptions, Scheme};
+//! use nascent::interp::{run, Limits};
+//!
+//! let src = r#"
+//! program demo
+//!   integer a(1:100)
+//!   integer i
+//!   do i = 1, 100
+//!     a(i) = i
+//!   enddo
+//! end
+//! "#;
+//! let mut prog = compile(src).expect("compiles");
+//! let naive = run(&prog, &Limits::default()).expect("runs");
+//! let stats = optimize_program(&mut prog, &OptimizeOptions::scheme(Scheme::Lls));
+//! let opt = run(&prog, &Limits::default()).expect("still runs");
+//! assert!(opt.dynamic_checks < naive.dynamic_checks);
+//! assert!(stats.eliminated_static > 0);
+//! ```
+
+pub use nascent_analysis as analysis;
+pub use nascent_cback as cback;
+pub use nascent_classic as classic;
+pub use nascent_frontend as frontend;
+pub use nascent_interp as interp;
+pub use nascent_ir as ir;
+pub use nascent_rangecheck as rangecheck;
+pub use nascent_suite as suite;

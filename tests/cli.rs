@@ -1,0 +1,131 @@
+//! Integration tests for the `nascentc` command-line driver, run against
+//! the real binary via `CARGO_BIN_EXE_nascentc`.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn nascentc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nascentc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, src: &str) -> String {
+    let path = std::env::temp_dir().join(format!("nascentc-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(src.as_bytes()).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+const DEMO: &str = "program demo
+ integer a(1:100)
+ integer i, n
+ n = 100
+ do i = 1, n
+  a(i) = 2 * i
+ enddo
+ print a(n)
+end
+";
+
+#[test]
+fn check_accepts_valid_and_rejects_invalid() {
+    let good = write_temp("good.mf", DEMO);
+    let out = nascentc(&["check", &good]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+
+    let bad = write_temp("bad.mf", "program p\n x = 1\nend\n");
+    let out = nascentc(&["check", &bad]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not declared"));
+}
+
+#[test]
+fn run_prints_output_and_counters() {
+    let f = write_temp("run.mf", DEMO);
+    let out = nascentc(&["run", &f, "--no-opt"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "200");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checks: 202"), "{err}");
+}
+
+#[test]
+fn run_with_lls_reduces_checks() {
+    let f = write_temp("lls.mf", DEMO);
+    let out = nascentc(&["run", &f, "--scheme", "LLS"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "200");
+    let err = String::from_utf8_lossy(&out.stderr);
+    let checks: u64 = err
+        .split("checks: ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(checks <= 6, "{err}");
+}
+
+#[test]
+fn dump_shows_cond_checks() {
+    let f = write_temp("dump.mf", DEMO);
+    let out = nascentc(&["dump", &f, "--scheme", "LLS"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Cond-check"));
+}
+
+#[test]
+fn stats_and_report_render() {
+    let f = write_temp("stats.mf", DEMO);
+    let out = nascentc(&["stats", &f, "--scheme", "ALL", "--inx"]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("scheme:            ALL"));
+    assert!(s.contains("families:"));
+
+    let out = nascentc(&["report", &f]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("static checks"));
+}
+
+#[test]
+fn compare_lists_all_schemes() {
+    let f = write_temp("cmp.mf", DEMO);
+    let out = nascentc(&["compare", &f]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    for name in ["NI", "CS", "LNI", "SE", "LI", "LLS", "ALL", "MCM"] {
+        assert!(s.contains(name), "missing {name} in\n{s}");
+    }
+}
+
+#[test]
+fn trap_is_reported_on_stderr() {
+    let f = write_temp(
+        "trap.mf",
+        "program p\n integer a(1:5)\n a(9) = 1\nend\n",
+    );
+    let out = nascentc(&["run", &f, "--no-opt"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("TRAP"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    assert!(!nascentc(&[]).status.success());
+    assert!(!nascentc(&["frobnicate", "x.mf"]).status.success());
+    let f = write_temp("opt.mf", DEMO);
+    assert!(!nascentc(&["run", &f, "--scheme", "BOGUS"]).status.success());
+    assert!(!nascentc(&["run", &f, "--unknown-flag"]).status.success());
+    assert!(!nascentc(&["run", "/nonexistent/file.mf"]).status.success());
+}
+
+#[test]
+fn classic_flag_composes() {
+    let f = write_temp("classic.mf", DEMO);
+    let out = nascentc(&["run", &f, "--classic", "--scheme", "LLS"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "200");
+}

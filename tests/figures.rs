@@ -1,0 +1,164 @@
+//! Structural reproductions of the paper's worked examples
+//! (Figures 1, 2, 5, 6) as integration tests over the public API.
+
+use nascent::analysis::dom::Dominators;
+use nascent::analysis::induction::{classify_function, InductionClass};
+use nascent::analysis::loops::LoopForest;
+use nascent::analysis::ssa::Ssa;
+use nascent::frontend::compile;
+use nascent::interp::{run, Limits};
+use nascent::ir::pretty::checks_to_strings;
+use nascent::ir::VarId;
+use nascent::rangecheck::{optimize_program, OptimizeOptions, Scheme};
+
+const FIG1: &str = "program fig1
+ integer a(5:10)
+ integer n
+ n = 4
+ a(2*n) = 0
+ a(2*n - 1) = 1
+end
+";
+
+/// Figure 1(a) → (b): `C4` is implied by `C2` and eliminated; 3 checks
+/// remain.
+#[test]
+fn figure1_b() {
+    let mut p = compile(FIG1).unwrap();
+    optimize_program(&mut p, &OptimizeOptions::scheme(Scheme::Ni));
+    assert_eq!(p.check_count(), 3);
+    let remaining: Vec<String> = checks_to_strings(&p.functions[0])
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    assert!(remaining.iter().any(|s| s.contains("<= -5")), "C1 stays");
+    assert!(remaining.iter().any(|s| s.contains("<= 10")), "C2 stays");
+    assert!(remaining.iter().any(|s| s.contains("<= -6")), "C3 stays");
+    assert!(!remaining.iter().any(|s| s.contains("<= 11")), "C4 removed");
+}
+
+/// Figure 1(a) → (c): check strengthening replaces `C1` by `C3`; only two
+/// checks remain.
+#[test]
+fn figure1_c() {
+    let mut p = compile(FIG1).unwrap();
+    optimize_program(&mut p, &OptimizeOptions::scheme(Scheme::Cs));
+    assert_eq!(p.check_count(), 2);
+    let remaining: Vec<String> = checks_to_strings(&p.functions[0])
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    assert!(remaining.iter().any(|s| s.contains("<= -6")));
+    assert!(remaining.iter().any(|s| s.contains("<= 10")));
+}
+
+/// Figure 2: `j` is the basic linear sequence `h`, `k = 5h + 3` at the
+/// header, `t` polynomial, `2*m + 1` invariant.
+#[test]
+fn figure2_classifications() {
+    let src = "program fig2
+ integer a(1:100)
+ integer i, j, k, m, n, t
+ n = 8
+ j = 0
+ k = 3
+ m = 5
+ t = 0
+ do i = 0, n - 1
+  j = j + 1
+  k = k + m
+  t = t + j
+  a(k) = 2 * m + 1
+ enddo
+end
+";
+    let p = compile(src).unwrap();
+    let f = &p.functions[0];
+    let dom = Dominators::compute(f);
+    let ssa = Ssa::compute(f, &dom);
+    let forest = LoopForest::compute(f);
+    let classes = classify_function(f, &ssa, &forest);
+    let l = nascent::analysis::loops::LoopId(0);
+    // i j k m n t = VarId 0..5
+    assert_eq!(
+        classes[&(l, VarId(1))],
+        InductionClass::Linear {
+            coeff: Some(1),
+            offset: Some(0)
+        }
+    );
+    assert_eq!(
+        classes[&(l, VarId(2))],
+        InductionClass::Linear {
+            coeff: Some(5),
+            offset: Some(3)
+        }
+    );
+    assert_eq!(
+        classes[&(l, VarId(3))],
+        InductionClass::Invariant { value: Some(5) }
+    );
+    assert_eq!(classes[&(l, VarId(5))], InductionClass::Polynomial { degree: 2 });
+}
+
+/// Figure 5: safe-earliest placement increases the checks executed on the
+/// `else` path — the paper's profitability caveat, observed dynamically.
+#[test]
+fn figure5_unprofitable_else_path() {
+    let src = "program fig5
+ integer a(1:10)
+ integer i, c
+ c = 0
+ i = 2
+ if (c > 0) then
+  a(i) = 1
+ else
+  a(i + 4) = 1
+ endif
+end
+";
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let mut p = compile(src).unwrap();
+    optimize_program(&mut p, &OptimizeOptions::scheme(Scheme::Se));
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert!(
+        opt.dynamic_checks > naive.dynamic_checks,
+        "expected the else path to get MORE checks ({} vs {})",
+        opt.dynamic_checks,
+        naive.dynamic_checks
+    );
+    assert_eq!(opt.output, naive.output);
+    assert_eq!(opt.trap, naive.trap);
+}
+
+/// Figure 6: both checks leave the loop as conditional checks in the
+/// preheader and the loop body becomes check-free.
+#[test]
+fn figure6_conditional_checks_in_preheader() {
+    let src = "program fig6
+ integer a(1:10)
+ integer j, k, n
+ n = 4
+ k = 7
+ do j = 1, 2 * n
+  a(k) = a(j) + 1
+ enddo
+end
+";
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let mut p = compile(src).unwrap();
+    optimize_program(&mut p, &OptimizeOptions::scheme(Scheme::Lls));
+    let opt = run(&p, &Limits::default()).unwrap();
+    assert_eq!(opt.output, naive.output);
+    // naive: 8 iterations * 4 checks = 32; optimized: one conditional
+    // check per family at the preheader
+    assert_eq!(naive.dynamic_checks, 32);
+    assert!(opt.dynamic_checks <= 4, "got {}", opt.dynamic_checks);
+    // the remaining checks are conditional (Cond-check) and sit outside
+    // the loop
+    let strings: Vec<String> = checks_to_strings(&p.functions[0])
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    assert!(strings.iter().all(|s| s.starts_with("Cond-check")));
+}

@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests: MiniF source → naive checks → optimizer →
+//! instrumented execution, across the benchmark suite and all schemes.
+
+use nascent::frontend::compile;
+use nascent::interp::{run, Limits};
+use nascent::rangecheck::{optimize_program, CheckKind, OptimizeOptions, Scheme};
+use nascent::suite::test_suite;
+
+fn limits() -> Limits {
+    Limits {
+        max_steps: 50_000_000,
+        max_call_depth: 64,
+    }
+}
+
+#[test]
+fn every_scheme_preserves_suite_behavior() {
+    for b in test_suite() {
+        let naive_prog = compile(&b.source).expect("suite compiles");
+        let naive = run(&naive_prog, &limits()).expect("suite runs");
+        assert!(naive.trap.is_none());
+        for scheme in Scheme::EACH {
+            for kind in [CheckKind::Prx, CheckKind::Inx] {
+                let mut prog = compile(&b.source).unwrap();
+                optimize_program(&mut prog, &OptimizeOptions::scheme(scheme).with_kind(kind));
+                nascent::ir::validate::assert_valid(&prog);
+                let opt = run(&prog, &limits()).unwrap_or_else(|e| {
+                    panic!("{} under {scheme:?}/{kind:?}: {e}", b.name)
+                });
+                assert!(
+                    opt.trap.is_none(),
+                    "{} under {scheme:?}/{kind:?}: introduced trap",
+                    b.name
+                );
+                assert_eq!(
+                    opt.output, naive.output,
+                    "{} under {scheme:?}/{kind:?}: output changed",
+                    b.name
+                );
+                assert!(
+                    opt.dynamic_checks <= naive.dynamic_checks,
+                    "{} under {scheme:?}/{kind:?}: checks increased {} -> {}",
+                    b.name,
+                    naive.dynamic_checks,
+                    opt.dynamic_checks
+                );
+                assert_eq!(
+                    opt.dynamic_progress, naive.dynamic_progress,
+                    "{} under {scheme:?}/{kind:?}: non-check work changed",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lls_eliminates_the_vast_majority_on_loop_heavy_programs() {
+    // analog of the paper's headline: "loop-based optimizations ...
+    // eliminate about 98% of the range checks" (at paper scale; the tiny
+    // test scale has proportionally larger preheader overhead, so the
+    // threshold here is lower)
+    let loop_heavy = ["vortex", "arc2d", "simple"];
+    for b in test_suite() {
+        if !loop_heavy.contains(&b.name) {
+            continue;
+        }
+        let naive_prog = compile(&b.source).unwrap();
+        let naive = run(&naive_prog, &limits()).unwrap();
+        let mut prog = compile(&b.source).unwrap();
+        optimize_program(&mut prog, &OptimizeOptions::scheme(Scheme::Lls));
+        let opt = run(&prog, &limits()).unwrap();
+        let pct = 100.0 * (1.0 - opt.dynamic_checks as f64 / naive.dynamic_checks as f64);
+        assert!(pct > 85.0, "{}: LLS only eliminated {pct:.1}%", b.name);
+    }
+}
+
+#[test]
+fn scheme_ordering_matches_the_paper() {
+    // SE >= LNI >= NI and SE >= CS >= NI on every program (in eliminated
+    // checks); ALL >= LLS
+    for b in test_suite() {
+        let naive_prog = compile(&b.source).unwrap();
+        let naive = run(&naive_prog, &limits()).unwrap();
+        let dyn_of = |scheme: Scheme| -> u64 {
+            let mut prog = compile(&b.source).unwrap();
+            optimize_program(&mut prog, &OptimizeOptions::scheme(scheme));
+            run(&prog, &limits()).unwrap().dynamic_checks
+        };
+        let ni = dyn_of(Scheme::Ni);
+        let cs = dyn_of(Scheme::Cs);
+        let lni = dyn_of(Scheme::Lni);
+        let se = dyn_of(Scheme::Se);
+        assert!(se <= lni, "{}: SE {} > LNI {}", b.name, se, lni);
+        assert!(lni <= ni, "{}: LNI {} > NI {}", b.name, lni, ni);
+        assert!(cs <= ni, "{}: CS {} > NI {}", b.name, cs, ni);
+        assert!(se <= cs, "{}: SE {} > CS {}", b.name, se, cs);
+        let _ = naive;
+    }
+}
+
+#[test]
+fn optimizer_is_idempotent_under_ni() {
+    // running elimination twice changes nothing further
+    for b in test_suite().into_iter().take(3) {
+        let mut prog = compile(&b.source).unwrap();
+        optimize_program(&mut prog, &OptimizeOptions::scheme(Scheme::Ni));
+        let after_once = prog.check_count();
+        let stats = optimize_program(&mut prog, &OptimizeOptions::scheme(Scheme::Ni));
+        assert_eq!(prog.check_count(), after_once, "{}", b.name);
+        assert_eq!(stats.eliminated_static, 0, "{}", b.name);
+    }
+}
+
+#[test]
+fn stats_accounting_is_consistent() {
+    for b in test_suite() {
+        let mut prog = compile(&b.source).unwrap();
+        let before = prog.check_count();
+        let stats = optimize_program(&mut prog, &OptimizeOptions::scheme(Scheme::Lls));
+        assert_eq!(stats.static_before, before, "{}", b.name);
+        assert_eq!(stats.static_after, prog.check_count(), "{}", b.name);
+        assert!(stats.families > 0, "{}", b.name);
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's behavior-preservation criterion (§3), exercised on
+//! programs that *do* violate their array ranges: for every scheme,
+//! (1) the optimized program traps iff the original does, and
+//! (2) never later (by dynamic instruction count). Earlier is allowed —
+//! hoisted and strengthened checks detect violations sooner.
+
+use nascent::frontend::compile;
+use nascent::interp::{run, Limits};
+use nascent::rangecheck::{optimize_program, CheckKind, OptimizeOptions, Scheme};
+
+fn all_schemes() -> Vec<Scheme> {
+    let mut v = Scheme::EACH.to_vec();
+    v.push(Scheme::Mcm);
+    v
+}
+
+fn check_trapping_program(src: &str) {
+    let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+    let nt = naive
+        .trap
+        .as_ref()
+        .unwrap_or_else(|| panic!("test program must trap:\n{src}"));
+    for scheme in all_schemes() {
+        for kind in [CheckKind::Prx, CheckKind::Inx] {
+            let mut p = compile(src).unwrap();
+            optimize_program(&mut p, &OptimizeOptions::scheme(scheme).with_kind(kind));
+            let opt = run(&p, &Limits::default())
+                .unwrap_or_else(|e| panic!("{scheme:?}/{kind:?}: {e}\n{src}"));
+            let ot = opt
+                .trap
+                .as_ref()
+                .unwrap_or_else(|| panic!("{scheme:?}/{kind:?}: trap lost\n{src}"));
+            assert!(
+                ot.at_progress <= nt.at_progress,
+                "{scheme:?}/{kind:?}: trap delayed {} > {}\n{src}",
+                ot.at_progress,
+                nt.at_progress
+            );
+        }
+    }
+}
+
+#[test]
+fn trap_on_loop_overrun() {
+    check_trapping_program(
+        "program p
+ integer a(1:10)
+ integer i, s
+ s = 0
+ do i = 1, 15
+  s = s + a(i)
+ enddo
+ print s
+end
+",
+    );
+}
+
+#[test]
+fn trap_on_first_iteration_lower_bound() {
+    check_trapping_program(
+        "program p
+ integer a(5:10)
+ integer i
+ do i = 1, 10
+  a(i) = i
+ enddo
+end
+",
+    );
+}
+
+#[test]
+fn trap_on_invariant_subscript() {
+    check_trapping_program(
+        "program p
+ integer a(1:10)
+ integer i, k
+ k = 11
+ do i = 1, 5
+  a(k) = i
+ enddo
+end
+",
+    );
+}
+
+#[test]
+fn trap_in_nested_loop() {
+    check_trapping_program(
+        "program p
+ integer g(1:8, 1:8)
+ integer i, j
+ do i = 1, 8
+  do j = 1, 9
+   g(i, j) = i + j
+  enddo
+ enddo
+end
+",
+    );
+}
+
+#[test]
+fn trap_in_subroutine_with_symbolic_bounds() {
+    check_trapping_program(
+        "subroutine fill(n, a)
+ integer n, i
+ integer a(1:n)
+ do i = 1, n + 2
+  a(i) = i
+ enddo
+end
+program p
+ integer b(1:10)
+ call fill(10, b)
+end
+",
+    );
+}
+
+#[test]
+fn trap_in_while_loop() {
+    check_trapping_program(
+        "program p
+ integer a(1:10)
+ integer i
+ i = 1
+ while (i < 20)
+  a(i) = i
+  i = i + 1
+ endwhile
+end
+",
+    );
+}
+
+#[test]
+fn trap_after_partial_output() {
+    check_trapping_program(
+        "program p
+ integer a(1:6)
+ integer i
+ print 1
+ print 2
+ do i = 1, 9
+  a(i) = i
+ enddo
+ print 3
+end
+",
+    );
+}
+
+#[test]
+fn trap_on_negative_step_underrun() {
+    check_trapping_program(
+        "program p
+ integer a(3:10)
+ integer i
+ do i = 10, 1, -1
+  a(i) = i
+ enddo
+end
+",
+    );
+}
+
+#[test]
+fn trap_on_derived_induction_variable() {
+    check_trapping_program(
+        "program p
+ integer a(1:20)
+ integer i, j
+ do i = 1, 10
+  j = 2 * i + 1
+  a(j) = i
+ enddo
+end
+",
+    );
+}
+
+#[test]
+fn trap_on_triangular_accumulator() {
+    check_trapping_program(
+        "program p
+ integer v(1:20)
+ integer i, j, ij
+ ij = 0
+ do i = 1, 8
+  do j = 1, i
+   ij = ij + 1
+   v(ij) = i
+  enddo
+ enddo
+end
+",
+    );
+}
+
+/// Trap-free programs must stay trap-free under every scheme (dual of the
+/// criterion): deliberately tight but valid subscript ranges.
+#[test]
+fn tight_but_valid_ranges_do_not_trap() {
+    let sources = [
+        "program p\n integer a(1:10)\n integer i\n do i = 1, 10\n a(i) = i\n enddo\nend\n",
+        "program p\n integer a(0:9)\n integer i\n do i = 0, 9\n a(i) = i\n enddo\nend\n",
+        "program p\n integer a(1:19)\n integer i\n do i = 1, 10\n a(2*i - 1) = i\n enddo\nend\n",
+        "program p\n integer a(1:10)\n integer i\n do i = 10, 1, -1\n a(i) = i\n enddo\nend\n",
+        "program p\n integer a(1:1)\n integer i\n do i = 1, 1\n a(i) = i\n enddo\nend\n",
+        // zero-trip loop with wildly invalid body subscript
+        "program p\n integer a(1:5)\n integer i\n do i = 5, 1\n a(i + 99) = i\n enddo\n print 0\nend\n",
+    ];
+    for src in sources {
+        let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
+        assert!(naive.trap.is_none(), "naive must not trap:\n{src}");
+        for scheme in all_schemes() {
+            let mut p = compile(src).unwrap();
+            optimize_program(&mut p, &OptimizeOptions::scheme(scheme));
+            let opt = run(&p, &Limits::default())
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}\n{src}"));
+            assert!(
+                opt.trap.is_none(),
+                "{scheme:?} introduced a trap: {:?}\n{src}",
+                opt.trap
+            );
+            assert_eq!(opt.output, naive.output, "{scheme:?}\n{src}");
+        }
+    }
+}
