@@ -146,8 +146,8 @@ mod tests {
     use super::*;
     use nascent_frontend::compile;
     use nascent_ir::Stmt;
-    use std::collections::BTreeSet;
     use nascent_ir::VarId;
+    use std::collections::BTreeSet;
 
     /// Classic reaching-"constant-ness": forward must-be-assigned analysis.
     /// Fact = set of variables assigned on every path.
@@ -197,12 +197,7 @@ mod tests {
         // find the join block: the one containing the Emit
         let join = f
             .block_ids()
-            .find(|b| {
-                f.block(*b)
-                    .stmts
-                    .iter()
-                    .any(|s| matches!(s, Stmt::Emit(_)))
-            })
+            .find(|b| f.block(*b).stmts.iter().any(|s| matches!(s, Stmt::Emit(_))))
             .unwrap();
         let at_join = sol.entry[join.index()].as_ref().unwrap();
         // c assigned on both paths; x and y only on one each

@@ -255,11 +255,7 @@ impl<'a> InductionAnalysis<'a> {
             SsaExpr::Bin(BinOp::Sub, a, b) => {
                 if self.contains_phi(a, phi) && !self.contains_phi(b, phi) {
                     let d = self.decompose_expr(a, phi)?;
-                    Some(SsaExpr::Bin(
-                        BinOp::Sub,
-                        Box::new(d),
-                        b.clone(),
-                    ))
+                    Some(SsaExpr::Bin(BinOp::Sub, Box::new(d), b.clone()))
                 } else {
                     None
                 }
@@ -321,9 +317,7 @@ impl<'a> InductionAnalysis<'a> {
                     _ => match (ca, cb) {
                         (Invariant { value: va }, Invariant { value: vb }) => Invariant {
                             value: match (va, vb) {
-                                (Some(x), Some(y)) => {
-                                    nascent_ir::expr::eval_int_binop(*op, x, y)
-                                }
+                                (Some(x), Some(y)) => nascent_ir::expr::eval_int_binop(*op, x, y),
                                 _ => None,
                             },
                         },
@@ -371,9 +365,7 @@ fn combine_additive(a: InductionClass, b: InductionClass, negate_b: bool) -> Ind
         },
         (Polynomial { degree }, Invariant { .. } | Linear { .. })
         | (Invariant { .. } | Linear { .. }, Polynomial { degree }) => Polynomial { degree },
-        (Polynomial { degree: d1 }, Polynomial { degree: d2 }) => Polynomial {
-            degree: d1.max(d2),
-        },
+        (Polynomial { degree: d1 }, Polynomial { degree: d2 }) => Polynomial { degree: d1.max(d2) },
         _ => Unknown,
     }
 }
@@ -384,12 +376,11 @@ fn combine_multiplicative(a: InductionClass, b: InductionClass) -> InductionClas
         (Invariant { value: x }, Invariant { value: y }) => Invariant {
             value: x.zip(y).map(|(x, y)| x.wrapping_mul(y)),
         },
-        (Linear { coeff, offset }, Invariant { value }) | (Invariant { value }, Linear { coeff, offset }) => {
-            Linear {
-                coeff: coeff.zip(value).map(|(c, v)| c.wrapping_mul(v)),
-                offset: offset.zip(value).map(|(o, v)| o.wrapping_mul(v)),
-            }
-        }
+        (Linear { coeff, offset }, Invariant { value })
+        | (Invariant { value }, Linear { coeff, offset }) => Linear {
+            coeff: coeff.zip(value).map(|(c, v)| c.wrapping_mul(v)),
+            offset: offset.zip(value).map(|(o, v)| o.wrapping_mul(v)),
+        },
         (Linear { .. }, Linear { .. }) => Polynomial { degree: 2 },
         (Polynomial { degree }, Invariant { .. }) | (Invariant { .. }, Polynomial { degree }) => {
             Polynomial { degree }
@@ -415,7 +406,9 @@ pub fn classify_function(
     let mut ia = InductionAnalysis::new(f, ssa, forest);
     for (li, info) in forest.loops.iter().enumerate() {
         let l = LoopId(li as u32);
-        let Some(body) = info.body_entry else { continue };
+        let Some(body) = info.body_entry else {
+            continue;
+        };
         for v in 0..f.vars.len() as u32 {
             let var = nascent_ir::VarId(v);
             // name at entry of the body block, before its first statement

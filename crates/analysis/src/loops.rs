@@ -331,10 +331,7 @@ fn detect_iv(f: &Function, preds: &[Vec<BlockId>], l: &LoopInfo) -> Option<LoopI
     for s in &f.block(latch).stmts {
         if let Stmt::Assign { var, value } = s {
             let form = LinForm::from_expr(value);
-            if form.coeff_of_var(*var) == 1
-                && form.num_terms() == 1
-                && form.constant_part() != 0
-            {
+            if form.coeff_of_var(*var) == 1 && form.num_terms() == 1 && form.constant_part() != 0 {
                 if candidate.is_some() {
                     continue;
                 }
@@ -450,12 +447,7 @@ fn comparison_bound(cond: &Expr, var: VarId, taken_on_true: bool) -> Option<(Bou
 /// Walks backward from the loop entry through the out-of-loop
 /// single-predecessor chain looking for the reaching definition of `var`;
 /// returns its canonical form when it is a plain assignment.
-fn find_init(
-    f: &Function,
-    preds: &[Vec<BlockId>],
-    l: &LoopInfo,
-    var: VarId,
-) -> Option<LinForm> {
+fn find_init(f: &Function, preds: &[Vec<BlockId>], l: &LoopInfo, var: VarId) -> Option<LinForm> {
     // start from the unique out-of-loop predecessor (preheader or direct)
     let outside: Vec<BlockId> = preds[l.header.index()]
         .iter()
@@ -530,16 +522,10 @@ end
     #[test]
     fn inner_loop_nested_in_outer() {
         let (_, forest) = main_forest(NESTED);
-        let inner = forest
-            .loops
-            .iter()
-            .position(|l| l.depth == 2)
-            .unwrap();
+        let inner = forest.loops.iter().position(|l| l.depth == 2).unwrap();
         let outer = forest.loops.iter().position(|l| l.depth == 1).unwrap();
         assert_eq!(forest.loops[inner].parent, Some(LoopId(outer as u32)));
-        assert!(forest.loops[outer]
-            .children
-            .contains(&LoopId(inner as u32)));
+        assert!(forest.loops[outer].children.contains(&LoopId(inner as u32)));
         assert!(forest.loops[outer]
             .blocks
             .is_superset(&forest.loops[inner].blocks));
@@ -618,7 +604,11 @@ end
         let after = LoopForest::compute(&f);
         assert_eq!(before.loops.len(), after.loops.len());
         for l in &after.loops {
-            assert!(l.preheader.is_some(), "loop at {} lacks preheader", l.header);
+            assert!(
+                l.preheader.is_some(),
+                "loop at {} lacks preheader",
+                l.header
+            );
         }
         nascent_ir::validate::assert_valid(&nascent_ir::Program::single(f));
     }

@@ -68,12 +68,7 @@ pub fn unique_defs(f: &Function) -> UniqueDefs {
 
 /// The last definition of `var` strictly before statement `before` in
 /// block `b`, if any.
-pub fn reaching_in_block(
-    f: &Function,
-    b: BlockId,
-    before: usize,
-    var: VarId,
-) -> Option<DefSite> {
+pub fn reaching_in_block(f: &Function, b: BlockId, before: usize, var: VarId) -> Option<DefSite> {
     let stmts = &f.block(b).stmts;
     for i in (0..before.min(stmts.len())).rev() {
         if stmts[i].defined_var() == Some(var) {
@@ -114,10 +109,9 @@ mod tests {
 
     #[test]
     fn parameters_with_defs_are_excluded() {
-        let p = compile(
-            "subroutine s(n)\n integer n, m\n m = n\nend\nprogram p\n call s(1)\nend\n",
-        )
-        .unwrap();
+        let p =
+            compile("subroutine s(n)\n integer n, m\n m = n\nend\nprogram p\n call s(1)\nend\n")
+                .unwrap();
         let s = &p.functions[0];
         let defs = unique_defs(s);
         // m has one def; n is a parameter with zero textual defs so it is

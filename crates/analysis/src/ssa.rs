@@ -300,11 +300,9 @@ impl<'a> Builder<'a> {
             Expr::RealConst(_) => SsaExpr::Opaque,
             Expr::Var(v) => SsaExpr::Use(self.top(*v)),
             Expr::Unary(op, inner) => SsaExpr::Un(*op, Box::new(self.ssa_expr(inner))),
-            Expr::Binary(op, l, r) => SsaExpr::Bin(
-                *op,
-                Box::new(self.ssa_expr(l)),
-                Box::new(self.ssa_expr(r)),
-            ),
+            Expr::Binary(op, l, r) => {
+                SsaExpr::Bin(*op, Box::new(self.ssa_expr(l)), Box::new(self.ssa_expr(r)))
+            }
         }
     }
 }
@@ -325,10 +323,7 @@ mod tests {
     #[test]
     fn straight_line_has_no_phis() {
         let (_, ssa) = build("program p\n integer x\n x = 1\n x = x + 1\nend\n");
-        assert!(ssa
-            .defs
-            .iter()
-            .all(|d| !matches!(d, SsaDef::Phi { .. })));
+        assert!(ssa.defs.iter().all(|d| !matches!(d, SsaDef::Phi { .. })));
         // x has entry + two assignment names
         assert_eq!(ssa.defs.len(), 3);
     }
@@ -379,12 +374,8 @@ mod tests {
 
     #[test]
     fn load_definitions_are_opaque() {
-        let (_, ssa) = build(
-            "program p\n integer a(1:5)\n integer x\n a(1) = 4\n x = a(1)\n print x\nend\n",
-        );
-        assert!(ssa
-            .defs
-            .iter()
-            .any(|d| matches!(d, SsaDef::Opaque { .. })));
+        let (_, ssa) =
+            build("program p\n integer a(1:5)\n integer x\n a(1) = 4\n x = a(1)\n print x\nend\n");
+        assert!(ssa.defs.iter().any(|d| matches!(d, SsaDef::Opaque { .. })));
     }
 }

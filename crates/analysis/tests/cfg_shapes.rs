@@ -62,7 +62,7 @@ end
     assert_eq!(forest.loops.len(), 1);
     let l = &forest.loops[0];
     // bottom-test loop: the header holds the increment
-    assert!(l.blocks.len() >= 1);
+    assert!(!l.blocks.is_empty());
 }
 
 #[test]
@@ -224,10 +224,7 @@ end
     depths.sort();
     assert_eq!(depths, vec![1, 2, 3, 4]);
     let order = forest.inner_to_outer();
-    let ds: Vec<u32> = order
-        .iter()
-        .map(|l| forest.loop_info(*l).depth)
-        .collect();
+    let ds: Vec<u32> = order.iter().map(|l| forest.loop_info(*l).depth).collect();
     let mut sorted = ds.clone();
     sorted.sort_by(|a, b| b.cmp(a));
     assert_eq!(ds, sorted, "inner-to-outer order is by descending depth");

@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nascent_frontend::compile;
-use nascent_rangecheck::{
-    optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme,
-};
+use nascent_rangecheck::{optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
 
 fn bench_schemes(c: &mut Criterion) {

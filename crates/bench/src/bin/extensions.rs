@@ -58,8 +58,8 @@ fn main() {
         let mut row = vec![scheme.name().to_string()];
         for (b, naive) in benches.iter().zip(&naives) {
             let r = evaluate(b, naive, &OptimizeOptions::scheme(scheme));
-            let guards_pct = 100.0 * r.dynamic_guard_ops as f64
-                / naive.dynamic_checks.max(1) as f64;
+            let guards_pct =
+                100.0 * r.dynamic_guard_ops as f64 / naive.dynamic_checks.max(1) as f64;
             row.push(format!("{:.2}", guards_pct));
         }
         row.push(String::new());

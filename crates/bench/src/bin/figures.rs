@@ -53,7 +53,10 @@ fn banner(title: &str) {
 fn fig1() {
     banner("Figure 1: redundancy within a family + check strengthening");
     let p = compile(FIG1).unwrap();
-    println!("(a) naive — 4 checks:\n{}", DisplayFunction(&p.functions[0]));
+    println!(
+        "(a) naive — 4 checks:\n{}",
+        DisplayFunction(&p.functions[0])
+    );
     let mut pb = compile(FIG1).unwrap();
     optimize_program(&mut pb, &OptimizeOptions::scheme(Scheme::Ni));
     println!(

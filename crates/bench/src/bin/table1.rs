@@ -2,12 +2,15 @@
 //! benchmark programs — lines, subroutines, loops, static/dynamic
 //! instruction counts, static/dynamic naive check counts, and the
 //! check/instruction ratios. Also prints the §4.1 overhead estimate
-//! (each check ≈ 2 instructions).
+//! (each check ≈ 2 instructions). The `disch-st` column is the number of
+//! static checks the certifier's value-range analysis proves always-true
+//! without any optimization.
 //!
 //! Run with `cargo run --release -p nascent-bench --bin table1`.
 //! Pass `--small` for the test-scale suite.
 
-use nascent_bench::{format_table, measure_program};
+use nascent_bench::{certify_benchmark, format_table, measure_program};
+use nascent_rangecheck::{OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
 
 fn main() {
@@ -17,8 +20,17 @@ fn main() {
         Scale::Paper
     };
     let headers: Vec<String> = [
-        "program", "lines", "subr", "loops", "instr-st", "instr-dyn", "checks-st",
-        "checks-dyn", "st-%", "dyn-%",
+        "program",
+        "lines",
+        "subr",
+        "loops",
+        "instr-st",
+        "instr-dyn",
+        "checks-st",
+        "checks-dyn",
+        "st-%",
+        "dyn-%",
+        "disch-st",
     ]
     .iter()
     .map(ToString::to_string)
@@ -41,6 +53,9 @@ fn main() {
             m.dynamic_checks.to_string(),
             format!("{:.0}", m.static_ratio()),
             format!("{:.0}", m.dynamic_ratio()),
+            certify_benchmark(&b, &OptimizeOptions::scheme(Scheme::Ni))
+                .vra_discharged
+                .to_string(),
         ]);
     }
     println!("Table 1: program characteristics of benchmark programs\n");

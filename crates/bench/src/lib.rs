@@ -18,8 +18,11 @@ use nascent_analysis::loops::LoopForest;
 use nascent_frontend::{compile, compile_with, CheckInsertion};
 use nascent_interp::{run, Limits, RunResult};
 use nascent_ir::{Program, Stmt};
-use nascent_rangecheck::{optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme};
+use nascent_rangecheck::{
+    optimize_program, optimize_program_logged, CheckKind, ImplicationMode, OptimizeOptions, Scheme,
+};
 use nascent_suite::Benchmark;
+use nascent_verify::{certify_program, Certificate};
 
 /// Static and dynamic characteristics of one benchmark (Table 1 row).
 #[derive(Debug, Clone)]
@@ -91,8 +94,7 @@ pub fn loop_count(p: &Program) -> usize {
 /// Panics if the benchmark fails to compile or run — the suite is
 /// expected to be trap-free.
 pub fn measure_program(b: &Benchmark) -> ProgramMetrics {
-    let unchecked =
-        compile_with(&b.source, CheckInsertion::None).expect("benchmark compiles");
+    let unchecked = compile_with(&b.source, CheckInsertion::None).expect("benchmark compiles");
     let checked = compile(&b.source).expect("benchmark compiles");
     let limits = harness_limits();
     let ru = run(&unchecked, &limits).expect("benchmark runs");
@@ -164,6 +166,35 @@ pub fn evaluate(b: &Benchmark, naive: &RunResult, opts: &OptimizeOptions) -> Sch
         optimize_time,
         total_time,
     }
+}
+
+/// Optimizes a benchmark with the justification log enabled and
+/// re-validates every decision with the static certifier
+/// (`nascent-verify`). The returned certificate carries the obligation
+/// counts and the number of checks the value-range analysis discharges
+/// statically.
+///
+/// # Panics
+///
+/// Panics if the certifier rejects the run — tables must not be produced
+/// from uncertified optimizations.
+pub fn certify_benchmark(b: &Benchmark, opts: &OptimizeOptions) -> Certificate {
+    let naive = compile(&b.source).expect("benchmark compiles");
+    let mut prog = naive.clone();
+    let (_, logs) = optimize_program_logged(&mut prog, opts);
+    let cert = certify_program(&naive, &prog, &logs, opts);
+    assert!(
+        cert.ok(),
+        "{} under {:?} rejected by the certifier:\n{}",
+        b.name,
+        opts,
+        cert.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    cert
 }
 
 /// Runs the naive (unoptimized, checked) version of a benchmark.

@@ -63,11 +63,7 @@ impl From<std::io::Error> for CRunError {
 /// See [`CRunError`]. Division by zero and undetected out-of-bounds
 /// accesses surface as [`CRunError::RunFailed`] with exit codes 3 and 4.
 pub fn run_via_c(prog: &Program, tag: &str) -> Result<CRunResult, CRunError> {
-    let dir = std::env::temp_dir().join(format!(
-        "nascent-cback-{}-{}",
-        std::process::id(),
-        tag
-    ));
+    let dir = std::env::temp_dir().join(format!("nascent-cback-{}-{}", std::process::id(), tag));
     std::fs::create_dir_all(&dir)?;
     let c_path: PathBuf = dir.join("prog.c");
     let bin_path: PathBuf = dir.join("prog");

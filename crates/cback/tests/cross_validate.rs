@@ -32,7 +32,11 @@ fn assert_agree(name: &str, interp: &RunResult, c: &CRunResult) {
     if let (Some(t), Some(cf)) = (&interp.trap, &c.trap_function) {
         assert_eq!(&t.function, cf, "{name}: trap functions differ");
     }
-    assert_eq!(interp.output.len(), c.output.len(), "{name}: output lengths");
+    assert_eq!(
+        interp.output.len(),
+        c.output.len(),
+        "{name}: output lengths"
+    );
     for (iv, (kind, bits)) in interp.output.iter().zip(&c.output) {
         match (iv, kind) {
             (Value::Int(v), 'i') => assert_eq!(*v as u64, *bits, "{name}: int output"),

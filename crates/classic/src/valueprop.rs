@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use nascent_analysis::dataflow::{solve, Direction, Problem};
 use nascent_ir::{
-    Arg, BlockId, CheckExpr, Expr, Function, LinForm, R64, Stmt, Terminator, Ty, UnOp, VarId,
+    Arg, BlockId, CheckExpr, Expr, Function, LinForm, Stmt, Terminator, Ty, UnOp, VarId, R64,
 };
 
 /// What is known about a variable.
@@ -80,9 +80,7 @@ fn step(f: &Function, map: &mut BTreeMap<VarId, Known>, s: &Stmt) {
                 // plain copy x = y (y not itself resolvable); only track
                 // same-typed copies (assignment coerces otherwise)
                 match value {
-                    Expr::Var(y)
-                        if *y != var && f.vars[y.index()].ty == ty =>
-                    {
+                    Expr::Var(y) if *y != var && f.vars[y.index()].ty == ty => {
                         let known = resolve(map, *y);
                         map.insert(var, known.unwrap_or(Known::Copy(*y)));
                     }
@@ -205,7 +203,12 @@ pub struct PropStats {
 }
 
 /// Rewrites a use of `v` given the map; counts in `n`.
-fn rewrite_var(map: &BTreeMap<VarId, Known>, f: &Function, v: VarId, n: &mut usize) -> Option<Expr> {
+fn rewrite_var(
+    map: &BTreeMap<VarId, Known>,
+    f: &Function,
+    v: VarId,
+    n: &mut usize,
+) -> Option<Expr> {
     match resolve(map, v)? {
         Known::Int(c) => {
             if f.vars[v.index()].ty == Ty::Int {
@@ -239,9 +242,7 @@ fn rewrite_expr(map: &BTreeMap<VarId, Known>, f: &Function, e: &Expr, n: &mut us
     match e {
         Expr::IntConst(_) | Expr::RealConst(_) => e.clone(),
         Expr::Var(v) => rewrite_var(map, f, *v, n).unwrap_or_else(|| e.clone()),
-        Expr::Unary(op, inner) => {
-            Expr::Unary(*op, Box::new(rewrite_expr(map, f, inner, n)))
-        }
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(rewrite_expr(map, f, inner, n))),
         Expr::Binary(op, l, r) => Expr::Binary(
             *op,
             Box::new(rewrite_expr(map, f, l, n)),
@@ -372,10 +373,9 @@ mod tests {
 
     #[test]
     fn constants_flow_through_copies() {
-        let mut p = compile(
-            "program p\n integer x, y, z\n x = 4\n y = x\n z = y + 1\n print z\nend\n",
-        )
-        .unwrap();
+        let mut p =
+            compile("program p\n integer x, y, z\n x = 4\n y = x\n z = y + 1\n print z\nend\n")
+                .unwrap();
         let stats = propagate(&mut p.functions[0]);
         assert!(stats.uses_rewritten >= 2);
         // the emit is now a constant
@@ -410,10 +410,9 @@ mod tests {
 
     #[test]
     fn check_forms_are_rewritten() {
-        let mut p = compile(
-            "program p\n integer a(1:10)\n integer k, n\n n = 4\n k = n\n a(k) = 0\nend\n",
-        )
-        .unwrap();
+        let mut p =
+            compile("program p\n integer a(1:10)\n integer k, n\n n = 4\n k = n\n a(k) = 0\nend\n")
+                .unwrap();
         propagate(&mut p.functions[0]);
         let checks = checks_to_strings(&p.functions[0]);
         // checks are now constant inequalities (forms without variables)

@@ -268,12 +268,13 @@ pub fn discover_affine_edges(
         // y stable: never defined, or uniquely defined dominating x's def
         let y_ok = match def_count.get(&y) {
             None => true,
-            Some(1) => defs
-                .get(&y)
-                .is_some_and(|ys| dom.dominates(ys.block, site.block) && ys.block != site.block)
-                || defs.get(&y).is_some_and(|ys| {
-                    ys.block == site.block && ys.stmt < site.stmt
-                }),
+            Some(1) => {
+                defs.get(&y)
+                    .is_some_and(|ys| dom.dominates(ys.block, site.block) && ys.block != site.block)
+                    || defs
+                        .get(&y)
+                        .is_some_and(|ys| ys.block == site.block && ys.stmt < site.stmt)
+            }
             _ => false,
         };
         if !y_ok {
@@ -388,6 +389,31 @@ mod tests {
         assert!(cl.reachable(a).is_empty());
         // identity still holds
         assert_eq!(cl.weight(a, a), Some(0));
+    }
+
+    #[test]
+    fn negative_cycle_guard_spares_unrelated_components() {
+        // a → b → c → a sums to -1: every query touching the cycle must
+        // be clamped to "no implication", but an unrelated pair in the
+        // same graph keeps its weights and identity still holds.
+        let mut cig = Cig::new();
+        let a = cig.family(&form_of(0));
+        let b = cig.family(&form_of(1));
+        let c = cig.family(&form_of(2));
+        let d = cig.family(&form_of(3));
+        let e = cig.family(&form_of(4));
+        cig.add_edge(a, b, 1);
+        cig.add_edge(b, c, -3);
+        cig.add_edge(c, a, 1);
+        cig.add_edge(d, e, 2);
+        let cl = cig.closure();
+        for (x, y) in [(a, b), (b, c), (c, a), (a, c), (b, a)] {
+            assert_eq!(cl.weight(x, y), None, "cycle member leaked a weight");
+        }
+        assert!(cl.reachable(a).is_empty());
+        assert_eq!(cl.weight(a, a), Some(0), "identity is weight 0 regardless");
+        assert_eq!(cl.weight(d, e), Some(2), "healthy component unaffected");
+        assert_eq!(cl.reachable(d), vec![(e, 2)]);
     }
 
     #[test]

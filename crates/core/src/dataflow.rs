@@ -267,9 +267,7 @@ end
 
     #[test]
     fn local_predicates_shape() {
-        let (f, u) = prep(
-            "program p\n integer a(1:10)\n integer i\n i = 3\n a(i) = 0\nend\n",
-        );
+        let (f, u) = prep("program p\n integer a(1:10)\n integer i\n i = 3\n a(i) = 0\nend\n");
         let lp = local_predicates(&f, &u);
         let e = f.entry.index();
         // checks follow the def of i in the block: they are locally

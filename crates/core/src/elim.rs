@@ -10,12 +10,25 @@ use nascent_analysis::dataflow::solve;
 use nascent_ir::{Function, Stmt};
 
 use crate::dataflow::{avail_step, Avail};
+use crate::justify::{Event, JustLog};
 use crate::universe::Universe;
 use crate::{ImplicationMode, OptimizeStats};
 
 /// Removes every check that is implied by available checks.
 /// Returns the number of checks removed.
 pub fn eliminate(f: &mut Function, mode: ImplicationMode, stats: &mut OptimizeStats) -> usize {
+    let mut log = JustLog::new();
+    eliminate_logged(f, mode, stats, &mut log)
+}
+
+/// [`eliminate`], recording one [`Event::Eliminated`] per removed check
+/// that names an available check implying it.
+pub fn eliminate_logged(
+    f: &mut Function,
+    mode: ImplicationMode,
+    stats: &mut OptimizeStats,
+    log: &mut JustLog,
+) -> usize {
     let u = Universe::build(f, mode);
     stats.families += u.cig.family_count();
     stats.cig_edges += u.cig.edge_count();
@@ -33,6 +46,15 @@ pub fn eliminate(f: &mut Function, mode: ImplicationMode, stats: &mut OptimizeSt
             if let Stmt::Check(c) = &s {
                 let id = u.id(&c.cond).expect("check in universe");
                 if fact.intersects(&u.implied_by[id]) {
+                    let because = fact
+                        .iter()
+                        .find(|&d| u.implied_by[id].contains(d))
+                        .expect("intersecting witness");
+                    log.push(Event::Eliminated {
+                        block: b,
+                        check: c.cond.clone(),
+                        because: u.checks[because].clone(),
+                    });
                     removed += 1;
                     continue; // redundant: drop, do not apply its gen
                 }

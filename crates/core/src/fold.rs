@@ -7,8 +7,19 @@
 
 use nascent_ir::{Function, Stmt};
 
+use crate::justify::{Event, JustLog};
+
 /// Folds constant checks; returns `(folded_true, folded_false)`.
 pub fn fold_constant_checks(f: &mut Function) -> (usize, usize) {
+    let mut log = JustLog::new();
+    fold_constant_checks_logged(f, &mut log)
+}
+
+/// [`fold_constant_checks`], recording [`Event::FoldedTrue`] /
+/// [`Event::FoldedFalse`] per decided check. A conditional check dropped
+/// because a *guard* is constant-false needs no event: the verifier
+/// recomputes the loop's entry guard and sees the coverage is vacuous.
+pub fn fold_constant_checks_logged(f: &mut Function, log: &mut JustLog) -> (usize, usize) {
     let mut folded_true = 0;
     let mut folded_false = 0;
     for b in f.block_ids().collect::<Vec<_>>() {
@@ -35,9 +46,17 @@ pub fn fold_constant_checks(f: &mut Function) -> (usize, usize) {
             c.guards = guards;
             match c.cond.constant_verdict() {
                 Some(true) => {
+                    log.push(Event::FoldedTrue {
+                        block: b,
+                        check: c.cond.clone(),
+                    });
                     folded_true += 1;
                 }
                 Some(false) if c.guards.is_empty() => {
+                    log.push(Event::FoldedFalse {
+                        block: b,
+                        check: c.cond.clone(),
+                    });
                     folded_false += 1;
                     kept.push(Stmt::Trap {
                         message: format!("range check proven false: {}", c.cond),
@@ -58,10 +77,7 @@ mod tests {
 
     #[test]
     fn constant_true_checks_vanish() {
-        let mut p = compile(
-            "program p\n integer a(1:10)\n a(5) = 0\nend\n",
-        )
-        .unwrap();
+        let mut p = compile("program p\n integer a(1:10)\n a(5) = 0\nend\n").unwrap();
         let (t, fa) = fold_constant_checks(&mut p.functions[0]);
         assert_eq!((t, fa), (2, 0));
         assert_eq!(p.check_count(), 0);
@@ -69,10 +85,7 @@ mod tests {
 
     #[test]
     fn constant_false_check_becomes_trap() {
-        let mut p = compile(
-            "program p\n integer a(1:10)\n a(15) = 0\nend\n",
-        )
-        .unwrap();
+        let mut p = compile("program p\n integer a(1:10)\n a(15) = 0\nend\n").unwrap();
         let (t, fa) = fold_constant_checks(&mut p.functions[0]);
         assert_eq!((t, fa), (1, 1)); // lower is true, upper is false
         let has_trap = p.functions[0]
@@ -85,10 +98,8 @@ mod tests {
 
     #[test]
     fn symbolic_checks_survive() {
-        let mut p = compile(
-            "program p\n integer a(1:10)\n integer i\n i = 1\n a(i) = 0\nend\n",
-        )
-        .unwrap();
+        let mut p =
+            compile("program p\n integer a(1:10)\n integer i\n i = 1\n a(i) = 0\nend\n").unwrap();
         let (t, fa) = fold_constant_checks(&mut p.functions[0]);
         assert_eq!((t, fa), (0, 0));
         assert_eq!(p.check_count(), 2);

@@ -74,15 +74,13 @@ pub fn rewrite_checks(f: &mut Function) -> usize {
                 let form = c.cond.form().clone();
                 for v in form.vars() {
                     // same-block reaching definition
-                    let subst: Option<LinForm> = if let Some(site) =
-                        reaching_in_block(f, b, i, v)
-                    {
+                    let subst: Option<LinForm> = if let Some(site) = reaching_in_block(f, b, i, v) {
                         let rhs = site.rhs.as_ref().map(LinForm::from_expr);
                         match rhs {
                             Some(r)
-                                if r.vars().iter().all(|w| {
-                                    !redefined_between(f, b, site.stmt + 1, i, *w)
-                                }) =>
+                                if r.vars()
+                                    .iter()
+                                    .all(|w| !redefined_between(f, b, site.stmt + 1, i, *w)) =>
                             {
                                 Some(r)
                             }
@@ -92,14 +90,11 @@ pub fn rewrite_checks(f: &mut Function) -> usize {
                         // global unique def dominating the check
                         let dominates = site.block != b && dom.dominates(site.block, b);
                         if dominates {
-                            site.rhs
-                                .as_ref()
-                                .map(LinForm::from_expr)
-                                .filter(|r| {
-                                    r.vars()
-                                        .iter()
-                                        .all(|w| stable_from(*w, site.block, site.stmt))
-                                })
+                            site.rhs.as_ref().map(LinForm::from_expr).filter(|r| {
+                                r.vars()
+                                    .iter()
+                                    .all(|w| stable_from(*w, site.block, site.stmt))
+                            })
                         } else {
                             None
                         }

@@ -33,6 +33,7 @@ use nascent_analysis::dataflow::solve;
 use nascent_ir::{BlockId, Check, CheckExpr, Function, Stmt, Terminator};
 
 use crate::dataflow::{local_predicates, Antic, Avail};
+use crate::justify::{Event, JustLog};
 use crate::universe::Universe;
 use crate::util::BitSet;
 use crate::{ImplicationMode, OptimizeStats};
@@ -54,6 +55,20 @@ pub fn insert(
     placement: Placement,
     mode: ImplicationMode,
     stats: &mut OptimizeStats,
+) -> usize {
+    let mut log = JustLog::new();
+    insert_logged(f, placement, mode, stats, &mut log)
+}
+
+/// [`insert`], recording one [`Event::Inserted`] per placed check, naming
+/// the block that actually received it (a fresh edge block when the edge
+/// had to be split).
+pub fn insert_logged(
+    f: &mut Function,
+    placement: Placement,
+    mode: ImplicationMode,
+    stats: &mut OptimizeStats,
+    log: &mut JustLog,
 ) -> usize {
     let u = Universe::build(f, mode);
     if u.is_empty() {
@@ -193,7 +208,7 @@ pub fn insert(
         }
     }
 
-    apply_insertions(f, &u, insertions)
+    apply_insertions(f, &u, insertions, log)
 }
 
 enum InsertPoint {
@@ -210,6 +225,7 @@ fn apply_insertions(
     f: &mut Function,
     u: &Universe,
     insertions: Vec<(InsertPoint, BitSet)>,
+    log: &mut JustLog,
 ) -> usize {
     let preds = f.predecessors();
     let mut inserted = 0;
@@ -222,12 +238,20 @@ fn apply_insertions(
             InsertPoint::BlockStart(b) => {
                 let block = f.block_mut(b);
                 for (k, c) in checks.into_iter().enumerate() {
+                    log.push(Event::Inserted {
+                        block: b,
+                        check: c.clone(),
+                    });
                     block.stmts.insert(k, Stmt::Check(Check::unconditional(c)));
                 }
             }
             InsertPoint::BlockEnd(b) => {
                 let block = f.block_mut(b);
                 for c in checks {
+                    log.push(Event::Inserted {
+                        block: b,
+                        check: c.clone(),
+                    });
                     block.stmts.push(Stmt::Check(Check::unconditional(c)));
                 }
             }
@@ -236,6 +260,10 @@ fn apply_insertions(
                     // append at the end of i
                     let block = f.block_mut(i);
                     for c in checks {
+                        log.push(Event::Inserted {
+                            block: i,
+                            check: c.clone(),
+                        });
                         block.stmts.push(Stmt::Check(Check::unconditional(c)));
                     }
                     continue;
@@ -246,6 +274,10 @@ fn apply_insertions(
                 };
                 let block = f.block_mut(target);
                 for (k, c) in checks.into_iter().enumerate() {
+                    log.push(Event::Inserted {
+                        block: target,
+                        check: c.clone(),
+                    });
                     block.stmts.insert(k, Stmt::Check(Check::unconditional(c)));
                 }
             }

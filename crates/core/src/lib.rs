@@ -39,6 +39,7 @@ pub mod dataflow;
 pub mod elim;
 pub mod fold;
 pub mod inx;
+pub mod justify;
 pub mod lcm;
 pub mod mcm;
 pub mod preheader;
@@ -50,6 +51,7 @@ pub mod util;
 use nascent_ir::{Function, Program};
 
 pub use cig::{Cig, FamilyId};
+pub use justify::{Event, JustLog};
 pub use universe::Universe;
 
 /// Check placement scheme (§3.3 and Table 2 of the paper).
@@ -221,12 +223,41 @@ pub fn optimize_program(prog: &mut Program, opts: &OptimizeOptions) -> OptimizeS
 
 /// Optimizes one function in place.
 pub fn optimize_function(f: &mut Function, opts: &OptimizeOptions) -> OptimizeStats {
+    let mut log = JustLog::new();
+    optimize_function_logged(f, opts, &mut log)
+}
+
+/// Optimizes every function in place, returning one justification log per
+/// function (in `prog.functions` order) for translation validation.
+pub fn optimize_program_logged(
+    prog: &mut Program,
+    opts: &OptimizeOptions,
+) -> (OptimizeStats, Vec<JustLog>) {
+    let mut stats = OptimizeStats::default();
+    let mut logs = Vec::with_capacity(prog.functions.len());
+    for f in &mut prog.functions {
+        let mut log = JustLog::new();
+        stats.absorb(optimize_function_logged(f, opts, &mut log));
+        logs.push(log);
+    }
+    (stats, logs)
+}
+
+/// Optimizes one function in place, recording every decision in `log`.
+pub fn optimize_function_logged(
+    f: &mut Function,
+    opts: &OptimizeOptions,
+    log: &mut JustLog,
+) -> OptimizeStats {
     let mut stats = OptimizeStats {
         static_before: f.check_count(),
         ..OptimizeStats::default()
     };
 
     // INX mode: re-express checks through defining expressions first.
+    // This is shared normalization, not an optimization decision: the
+    // verifier applies the same rewrite to its reference program, so no
+    // event is logged for it (DESIGN.md §7).
     if opts.kind == CheckKind::Inx {
         inx::rewrite_checks(f);
     }
@@ -235,35 +266,55 @@ pub fn optimize_function(f: &mut Function, opts: &OptimizeOptions) -> OptimizeSt
     match opts.scheme {
         Scheme::Ni => {}
         Scheme::Cs => {
-            stats.strengthened = strength::strengthen(f, opts.implications, &mut stats);
+            stats.strengthened = strength::strengthen_logged(f, opts.implications, &mut stats, log);
         }
         Scheme::Se => {
-            stats.inserted = lcm::insert(f, lcm::Placement::SafeEarliest, opts.implications, &mut stats);
+            stats.inserted = lcm::insert_logged(
+                f,
+                lcm::Placement::SafeEarliest,
+                opts.implications,
+                &mut stats,
+                log,
+            );
         }
         Scheme::Lni => {
-            stats.inserted = lcm::insert(f, lcm::Placement::Latest, opts.implications, &mut stats);
+            stats.inserted = lcm::insert_logged(
+                f,
+                lcm::Placement::Latest,
+                opts.implications,
+                &mut stats,
+                log,
+            );
         }
         Scheme::Li => {
-            stats.hoisted = preheader::hoist(f, preheader::HoistKind::InvariantOnly);
+            stats.hoisted = preheader::hoist_logged(f, preheader::HoistKind::InvariantOnly, log);
         }
         Scheme::Lls => {
-            stats.hoisted = preheader::hoist(f, preheader::HoistKind::InvariantAndLinear);
+            stats.hoisted =
+                preheader::hoist_logged(f, preheader::HoistKind::InvariantAndLinear, log);
         }
         Scheme::All => {
-            stats.hoisted = preheader::hoist(f, preheader::HoistKind::InvariantAndLinear);
-            stats.inserted = lcm::insert(f, lcm::Placement::SafeEarliest, opts.implications, &mut stats);
+            stats.hoisted =
+                preheader::hoist_logged(f, preheader::HoistKind::InvariantAndLinear, log);
+            stats.inserted = lcm::insert_logged(
+                f,
+                lcm::Placement::SafeEarliest,
+                opts.implications,
+                &mut stats,
+                log,
+            );
         }
         Scheme::Mcm => {
-            stats.hoisted = mcm::hoist_mcm(f);
+            stats.hoisted = mcm::hoist_mcm_logged(f, log);
         }
     }
 
     // steps 1/2/4: availability-based elimination with the CIG
-    let eliminated = elim::eliminate(f, opts.implications, &mut stats);
+    let eliminated = elim::eliminate_logged(f, opts.implications, &mut stats, log);
     stats.eliminated_static += eliminated;
 
     // step 5: compile-time checks
-    let (t, fa) = fold::fold_constant_checks(f);
+    let (t, fa) = fold::fold_constant_checks_logged(f, log);
     stats.folded_true = t;
     stats.folded_false = fa;
 

@@ -22,11 +22,19 @@ use nascent_analysis::dom::{Dominators, PostDominators};
 use nascent_analysis::loops::{insert_preheaders, LoopForest};
 use nascent_ir::{Check, CheckExpr, Function, Stmt};
 
+use crate::justify::{Event, JustLog};
 use crate::preheader::substitute_limit_for;
 
 /// Runs the restricted (MCM) preheader insertion over all loops, inner to
 /// outer. Returns the number of checks hoisted.
 pub fn hoist_mcm(f: &mut Function) -> usize {
+    let mut log = JustLog::new();
+    hoist_mcm_logged(f, &mut log)
+}
+
+/// [`hoist_mcm`], recording [`Event::Hoisted`] per preheader insertion
+/// and [`Event::HoistCovered`] per articulation-block check it deletes.
+pub fn hoist_mcm_logged(f: &mut Function, log: &mut JustLog) -> usize {
     insert_preheaders(f);
     let dom = Dominators::compute(f);
     let pdom = PostDominators::compute(f);
@@ -34,11 +42,17 @@ pub fn hoist_mcm(f: &mut Function) -> usize {
     let mut hoisted = 0;
     for l in forest.inner_to_outer() {
         let info = forest.loop_info(l).clone();
-        let Some(preheader) = info.preheader else { continue };
-        let Some(body_entry) = info.body_entry else { continue };
+        let Some(preheader) = info.preheader else {
+            continue;
+        };
+        let Some(body_entry) = info.body_entry else {
+            continue;
+        };
         let [latch] = info.latches[..] else { continue };
         let Some(iv) = info.iv.clone() else { continue };
-        let Some(guard) = iv.entry_guard() else { continue };
+        let Some(guard) = iv.entry_guard() else {
+            continue;
+        };
         let guards = match guard.constant_verdict() {
             Some(true) => vec![],
             Some(false) => continue,
@@ -72,6 +86,11 @@ pub fn hoist_mcm(f: &mut Function) -> usize {
         }
         // insert in the preheader, delete the covered occurrences
         for (_, h) in &moved {
+            log.push(Event::Hoisted {
+                preheader,
+                guards: guards.clone(),
+                cond: h.clone(),
+            });
             f.block_mut(preheader)
                 .stmts
                 .push(Stmt::Check(Check::conditional(guards.clone(), h.clone())));
@@ -82,9 +101,23 @@ pub fn hoist_mcm(f: &mut Function) -> usize {
             f.block_mut(b).stmts = stmts
                 .into_iter()
                 .filter(|s| {
-                    !matches!(s, Stmt::Check(c)
+                    let deleted = matches!(s, Stmt::Check(c)
                         if c.is_unconditional()
-                            && moved.iter().any(|(o, _)| o == &c.cond))
+                            && moved.iter().any(|(o, _)| o == &c.cond));
+                    if deleted {
+                        let Stmt::Check(c) = s else { unreachable!() };
+                        let (_, h) = moved
+                            .iter()
+                            .find(|(o, _)| o == &c.cond)
+                            .expect("deleted check has a moved pair");
+                        log.push(Event::HoistCovered {
+                            block: b,
+                            check: c.cond.clone(),
+                            preheader,
+                            by: h.clone(),
+                        });
+                    }
+                    !deleted
                 })
                 .collect();
         }
@@ -121,7 +154,8 @@ mod tests {
 
     #[test]
     fn hoists_simple_checks_from_straightline_body() {
-        let src = "program p\n integer a(1:50)\n integer i\n do i = 1, 50\n a(i) = i\n enddo\nend\n";
+        let src =
+            "program p\n integer a(1:50)\n integer i\n do i = 1, 50\n a(i) = i\n enddo\nend\n";
         let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
         let (p, h) = mcm(src);
         assert_eq!(h, 2);

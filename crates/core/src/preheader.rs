@@ -35,6 +35,7 @@ use nascent_analysis::reach::{unique_defs, UniqueDefs};
 use nascent_ir::{BlockId, Check, CheckExpr, Function, LinForm, Stmt, VarId};
 
 use crate::dataflow::Antic;
+use crate::justify::{Event, JustLog};
 use crate::universe::Universe;
 use crate::ImplicationMode;
 
@@ -50,12 +51,20 @@ pub enum HoistKind {
 /// Runs preheader insertion over all loops of `f`, inner to outer.
 /// Returns the number of checks hoisted (conditional or not).
 pub fn hoist(f: &mut Function, kind: HoistKind) -> usize {
+    let mut log = JustLog::new();
+    hoist_logged(f, kind, &mut log)
+}
+
+/// [`hoist`], recording [`Event::Hoisted`] per preheader insertion,
+/// [`Event::HoistCovered`] per in-loop check it deletes, and
+/// [`Event::Rehoisted`] per guarded check moved to an outer preheader.
+pub fn hoist_logged(f: &mut Function, kind: HoistKind, log: &mut JustLog) -> usize {
     insert_preheaders(f);
     let dom = Dominators::compute(f);
     let forest = LoopForest::compute_with(f, &dom);
     let mut hoisted = 0;
     for l in forest.inner_to_outer() {
-        hoisted += hoist_loop(f, &dom, &forest, l, kind);
+        hoisted += hoist_loop(f, &dom, &forest, l, kind, log);
     }
     hoisted
 }
@@ -77,9 +86,10 @@ fn normalize_form(
         match udefs.get(&w) {
             Some(site) => site.block == at || dom.dominates(site.block, at),
             // not uniquely defined: acceptable only if never defined at all
-            None => f.blocks.iter().all(|b| {
-                b.stmts.iter().all(|s| s.defined_var() != Some(w))
-            }),
+            None => f
+                .blocks
+                .iter()
+                .all(|b| b.stmts.iter().all(|s| s.defined_var() != Some(w))),
         }
     };
     let mut cur = form.clone();
@@ -127,6 +137,7 @@ fn hoist_loop(
     forest: &LoopForest,
     l: LoopId,
     kind: HoistKind,
+    log: &mut JustLog,
 ) -> usize {
     let info = forest.loop_info(l).clone();
     let Some(preheader) = info.preheader else {
@@ -225,6 +236,11 @@ fn hoist_loop(
         let mut ordered: Vec<&Candidate> = cands.values().collect();
         ordered.sort_by(|a, b| (&a.family, a.bound).cmp(&(&b.family, b.bound)));
         for c in &ordered {
+            log.push(Event::Hoisted {
+                preheader,
+                guards: guards.clone(),
+                cond: c.hoisted.clone(),
+            });
             let check = Check::conditional(guards.clone(), c.hoisted.clone());
             f.block_mut(preheader).stmts.push(Stmt::Check(check));
             count += 1;
@@ -238,14 +254,21 @@ fn hoist_loop(
             let mut kept = Vec::with_capacity(block.stmts.len());
             for s in std::mem::take(&mut block.stmts) {
                 let covered = match &s {
-                    Stmt::Check(c) if c.is_unconditional() => ordered.iter().any(|cand| {
+                    Stmt::Check(c) if c.is_unconditional() => ordered.iter().find(|cand| {
                         c.cond.family_key() == &cand.family
                             && c.cond.bound() >= cand.bound
                             && !(cand.linear && Some(b) == latch && iv_defined)
                     }),
-                    _ => false,
+                    _ => None,
                 };
-                if covered {
+                if let Some(cand) = covered {
+                    let Stmt::Check(c) = &s else { unreachable!() };
+                    log.push(Event::HoistCovered {
+                        block: b,
+                        check: c.cond.clone(),
+                        preheader,
+                        by: cand.hoisted.clone(),
+                    });
                     count += 0; // deletion accounted via elimination stats
                 } else {
                     kept.push(s);
@@ -261,7 +284,7 @@ fn hoist_loop(
     }
 
     // ---- structural re-hoist of guarded checks from dominated blocks ----
-    count += rehoist_guarded(f, dom, &info, preheader, &guard);
+    count += rehoist_guarded(f, dom, &info, preheader, &guard, log);
     count
 }
 
@@ -297,6 +320,7 @@ fn rehoist_guarded(
     info: &LoopInfo,
     preheader: BlockId,
     guard: &Option<CheckExpr>,
+    log: &mut JustLog,
 ) -> usize {
     let [latch] = info.latches[..] else { return 0 };
     let outer_guard = match guard {
@@ -349,6 +373,13 @@ fn rehoist_guarded(
                     if let Some(g) = &outer_guard {
                         guards.push(normalize_check(f, dom, &udefs, preheader, g));
                     }
+                    log.push(Event::Rehoisted {
+                        preheader,
+                        guards: guards.clone(),
+                        cond: cond.clone(),
+                        from_block: b,
+                        original: c.clone(),
+                    });
                     moved.push(Check::conditional(guards, cond));
                 }
                 None => kept.push(s),

@@ -88,10 +88,7 @@ pub fn report(before: &Program, after: &Program) -> String {
                 format!("<= {lo}..{hi}")
             };
             let name = nascent_ir::pretty::linform_to_string(fa, form);
-            let _ = writeln!(
-                out,
-                "  remaining: `{name} {range}` x{n} (was x{before_n})"
-            );
+            let _ = writeln!(out, "  remaining: `{name} {range}` x{n} (was x{before_n})");
         }
     }
     out

@@ -10,6 +10,7 @@ use nascent_analysis::dataflow::solve;
 use nascent_ir::{Function, Stmt};
 
 use crate::dataflow::{antic_step, Antic};
+use crate::justify::{Event, JustLog};
 use crate::universe::Universe;
 use crate::{ImplicationMode, OptimizeStats};
 
@@ -18,10 +19,17 @@ use crate::{ImplicationMode, OptimizeStats};
 /// Iterates to a fixpoint (strengthening one check can enable
 /// strengthening an earlier one), which converges quickly because bounds
 /// only decrease within the finite set of program bounds.
-pub fn strengthen(
+pub fn strengthen(f: &mut Function, mode: ImplicationMode, stats: &mut OptimizeStats) -> usize {
+    let mut log = JustLog::new();
+    strengthen_logged(f, mode, stats, &mut log)
+}
+
+/// [`strengthen`], recording one [`Event::Strengthened`] per rewrite.
+pub fn strengthen_logged(
     f: &mut Function,
     mode: ImplicationMode,
     stats: &mut OptimizeStats,
+    log: &mut JustLog,
 ) -> usize {
     // strengthening substitutes a same-family implication; without
     // within-family implications the transformation is a no-op
@@ -30,7 +38,7 @@ pub fn strengthen(
     }
     let mut total = 0;
     for _round in 0..8 {
-        let changed = strengthen_round(f, stats);
+        let changed = strengthen_round(f, stats, log);
         total += changed;
         if changed == 0 {
             break;
@@ -39,7 +47,7 @@ pub fn strengthen(
     total
 }
 
-fn strengthen_round(f: &mut Function, stats: &mut OptimizeStats) -> usize {
+fn strengthen_round(f: &mut Function, stats: &mut OptimizeStats, log: &mut JustLog) -> usize {
     let u = Universe::build(f, ImplicationMode::All);
     if u.is_empty() {
         return 0;
@@ -65,7 +73,13 @@ fn strengthen_round(f: &mut Function, stats: &mut OptimizeStats) -> usize {
                         }
                     }
                     if best < c.cond.bound() {
+                        let from = c.cond.clone();
                         c.cond = c.cond.with_bound(best);
+                        log.push(Event::Strengthened {
+                            block: b,
+                            from,
+                            to: c.cond.clone(),
+                        });
                         changed += 1;
                     }
                 }

@@ -47,6 +47,15 @@ impl Universe {
     /// Cross-family affine edges are discovered unless the mode is
     /// [`ImplicationMode::None`].
     pub fn build(f: &Function, mode: ImplicationMode) -> Universe {
+        Universe::build_with_extra(f, mode, &[])
+    }
+
+    /// [`Universe::build`] with additional check expressions seeded into
+    /// the universe beyond those occurring in `f`. The verifier uses this
+    /// to reason about checks the optimizer deleted (they appear in the
+    /// justification log and the reference program but not in the
+    /// optimized function).
+    pub fn build_with_extra(f: &Function, mode: ImplicationMode, extra: &[CheckExpr]) -> Universe {
         let mut checks: Vec<CheckExpr> = Vec::new();
         let mut id_of: HashMap<CheckExpr, usize> = HashMap::new();
         for b in f.block_ids() {
@@ -59,11 +68,14 @@ impl Universe {
                 }
             }
         }
+        for c in extra {
+            if !id_of.contains_key(c) {
+                id_of.insert(c.clone(), checks.len());
+                checks.push(c.clone());
+            }
+        }
         let mut cig = Cig::new();
-        let family_of: Vec<FamilyId> = checks
-            .iter()
-            .map(|c| cig.family(c.family_key()))
-            .collect();
+        let family_of: Vec<FamilyId> = checks.iter().map(|c| cig.family(c.family_key())).collect();
         if mode != ImplicationMode::None {
             let dom = Dominators::compute(f);
             let fams: Vec<(FamilyId, nascent_ir::LinForm)> = family_of
@@ -126,6 +138,13 @@ impl Universe {
     /// Universe id of a check, if present.
     pub fn id(&self, c: &CheckExpr) -> Option<usize> {
         self.id_of.get(c).copied()
+    }
+
+    /// Does performing `c` imply `d` under this universe's mode?
+    /// `None` when either check is outside the universe.
+    pub fn implies_checks(&self, c: &CheckExpr, d: &CheckExpr) -> Option<bool> {
+        let (ci, di) = (self.id(c)?, self.id(d)?);
+        Some(self.gen_avail[ci].contains(di))
     }
 }
 

@@ -82,10 +82,7 @@ impl BitSet {
 
     /// True if `self` and `other` share an element.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// True if no element is set.

@@ -5,8 +5,8 @@ use nascent_frontend::compile;
 use nascent_interp::{run, Limits};
 use nascent_ir::{pretty::checks_to_strings, Stmt, Terminator};
 use nascent_rangecheck::{
-    lcm::{insert, Placement},
     elim::eliminate,
+    lcm::{insert, Placement},
     ImplicationMode, OptimizeStats,
 };
 
@@ -148,12 +148,7 @@ end
     eliminate(&mut p.functions[0], ImplicationMode::All, &mut stats);
     let f = &p.functions[0];
     // nothing may sit before the branch: the then-arm redefines i
-    assert_eq!(
-        checks_in_block(f, f.entry),
-        0,
-        "{:?}",
-        checks_to_strings(f)
-    );
+    assert_eq!(checks_in_block(f, f.entry), 0, "{:?}", checks_to_strings(f));
     let naive = run(&compile(src).unwrap(), &Limits::default()).unwrap();
     let opt = run(&p, &Limits::default()).unwrap();
     assert_eq!(opt.output, naive.output);

@@ -75,7 +75,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
         let c = bytes[i] as char;
         match c {
             '\n' => {
-                if !matches!(out.last(), None | Some(Token { tok: Tok::Newline, .. })) {
+                if !matches!(
+                    out.last(),
+                    None | Some(Token {
+                        tok: Tok::Newline,
+                        ..
+                    })
+                ) {
                     push(&mut out, Tok::Newline, line);
                 }
                 line += 1;
@@ -189,7 +195,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 {
                     i += 1;
                 }
-                push(&mut out, Tok::Ident(src[start..i].to_ascii_lowercase()), line);
+                push(
+                    &mut out,
+                    Tok::Ident(src[start..i].to_ascii_lowercase()),
+                    line,
+                );
             }
             _ => {
                 // `!=` is handled here because bare `!` is a comment.
@@ -201,7 +211,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    if !matches!(out.last(), None | Some(Token { tok: Tok::Newline, .. })) {
+    if !matches!(
+        out.last(),
+        None | Some(Token {
+            tok: Tok::Newline,
+            ..
+        })
+    ) {
         out.push(Token {
             tok: Tok::Newline,
             line,
@@ -274,12 +290,15 @@ mod tests {
 
     #[test]
     fn real_literals() {
-        assert_eq!(toks("x = 1.5"), vec![
-            Tok::Ident("x".into()),
-            Tok::Assign,
-            Tok::Real(1.5),
-            Tok::Newline
-        ]);
+        assert_eq!(
+            toks("x = 1.5"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Real(1.5),
+                Tok::Newline
+            ]
+        );
         // `3.` without following digit stays an int + lex error on '.'
         assert!(lex("x = 3.z").is_err());
     }

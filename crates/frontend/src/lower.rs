@@ -420,9 +420,7 @@ impl<'a> Lowerer<'a> {
                 let (l, lt) = self.expr(cur, line, l)?;
                 let (r, rt) = self.expr(cur, line, r)?;
                 let irop = conv_binop(*op);
-                let ty = if irop.is_comparison()
-                    || matches!(irop, ir::BinOp::And | ir::BinOp::Or)
-                {
+                let ty = if irop.is_comparison() || matches!(irop, ir::BinOp::And | ir::BinOp::Or) {
                     Ty::Int
                 } else if lt == Ty::Real || rt == Ty::Real {
                     Ty::Real
@@ -519,10 +517,9 @@ impl<'a> Lowerer<'a> {
                         self.func.block_mut(cur).stmts.push(Stmt::assign(v, e));
                     }
                     ast::LValue::Elem(name, subs) => {
-                        let array = *self
-                            .arrays
-                            .get(name)
-                            .ok_or_else(|| err(*line, format!("`{name}` is not a declared array")))?;
+                        let array = *self.arrays.get(name).ok_or_else(|| {
+                            err(*line, format!("`{name}` is not a declared array"))
+                        })?;
                         let index = self.subscripts(cur, *line, array, subs)?;
                         let (e, ty) = self.expr(cur, *line, value)?;
                         let at = self.func.arrays[array.index()].ty;
@@ -563,9 +560,7 @@ impl<'a> Lowerer<'a> {
                         match lowered.as_int() {
                             Some(0) => return Err(err(*line, "do step cannot be zero")),
                             Some(v) => v,
-                            None => {
-                                return Err(err(*line, "do step must be an integer constant"))
-                            }
+                            None => return Err(err(*line, "do step must be an integer constant")),
                         }
                     }
                 };
@@ -588,7 +583,11 @@ impl<'a> Lowerer<'a> {
                 let exit = self.new_block();
                 let latch = self.new_block();
                 self.func.block_mut(cur).term = Terminator::Jump(header);
-                let cmp = if step_val > 0 { ir::BinOp::Le } else { ir::BinOp::Ge };
+                let cmp = if step_val > 0 {
+                    ir::BinOp::Le
+                } else {
+                    ir::BinOp::Ge
+                };
                 self.func.block_mut(header).term = Terminator::Branch {
                     cond: ir::Expr::bin(cmp, ir::Expr::var(v), limit),
                     then_bb: body_bb,
@@ -717,13 +716,10 @@ impl<'a> Lowerer<'a> {
                         }
                     }
                 }
-                self.func
-                    .block_mut(cur)
-                    .stmts
-                    .push(Stmt::Call {
-                        callee,
-                        args: ir_args,
-                    });
+                self.func.block_mut(cur).stmts.push(Stmt::Call {
+                    callee,
+                    args: ir_args,
+                });
                 Ok(cur)
             }
             ast::Stmt::Print { value, line } => {
@@ -841,10 +837,8 @@ mod tests {
 
     #[test]
     fn two_dim_access_gets_four_checks() {
-        let p = compile(
-            "program p\n integer a(1:4, 0:5)\n integer i\n i = 2\n a(i, i) = 9\nend\n",
-        )
-        .unwrap();
+        let p = compile("program p\n integer a(1:4, 0:5)\n integer i\n i = 2\n a(i, i) = 9\nend\n")
+            .unwrap();
         assert_eq!(p.check_count(), 4);
     }
 
@@ -873,9 +867,7 @@ mod tests {
 
     #[test]
     fn assigning_loop_var_is_error() {
-        let r = compile(
-            "program p\n integer i\n do i = 1, 3\n i = 5\n enddo\nend\n",
-        );
+        let r = compile("program p\n integer i\n do i = 1, 3\n i = 5\n enddo\nend\n");
         assert!(r.is_err());
     }
 
@@ -910,10 +902,22 @@ mod tests {
     #[test]
     fn call_arity_and_kinds_checked() {
         let base = "subroutine s(x, a)\n integer x\n integer a(1:10)\n a(x) = 0\nend\n";
-        assert!(compile(&format!("{base}program p\n integer b(1:10)\n call s(1, b)\nend\n")).is_ok());
-        assert!(compile(&format!("{base}program p\n integer b(1:10)\n call s(1)\nend\n")).is_err());
-        assert!(compile(&format!("{base}program p\n integer b(1:10)\n call s(b, b)\nend\n")).is_err());
-        assert!(compile(&format!("{base}program p\n integer y\n y = 0\n call s(1, y)\nend\n")).is_err());
+        assert!(compile(&format!(
+            "{base}program p\n integer b(1:10)\n call s(1, b)\nend\n"
+        ))
+        .is_ok());
+        assert!(compile(&format!(
+            "{base}program p\n integer b(1:10)\n call s(1)\nend\n"
+        ))
+        .is_err());
+        assert!(compile(&format!(
+            "{base}program p\n integer b(1:10)\n call s(b, b)\nend\n"
+        ))
+        .is_err());
+        assert!(compile(&format!(
+            "{base}program p\n integer y\n y = 0\n call s(1, y)\nend\n"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -924,7 +928,9 @@ mod tests {
 
     #[test]
     fn zero_step_rejected() {
-        assert!(compile("program p\n integer i\n do i = 1, 3, 0\n print i\n enddo\nend\n").is_err());
+        assert!(
+            compile("program p\n integer i\n do i = 1, 3, 0\n print i\n enddo\nend\n").is_err()
+        );
     }
 
     #[test]
@@ -959,10 +965,8 @@ mod tests {
 
     #[test]
     fn mod_and_min_max_lower() {
-        let p = compile(
-            "program p\n integer x\n x = mod(7, 3) + min(1, 2) + max(3, 4)\nend\n",
-        )
-        .unwrap();
+        let p = compile("program p\n integer x\n x = mod(7, 3) + min(1, 2) + max(3, 4)\nend\n")
+            .unwrap();
         assert_valid(&p);
     }
 }

@@ -43,7 +43,6 @@ impl<'a> Parser<'a> {
             .map_or(0, |t| t.line)
     }
 
-
     fn err(&self, msg: impl Into<String>) -> CompileError {
         CompileError::new(ErrorKind::Parse, self.line(), msg)
     }
@@ -529,9 +528,7 @@ mod tests {
 
     #[test]
     fn parses_program_with_decls() {
-        let f = parse_src(
-            "program p\n integer i, j\n real a(1:10), b(5)\n i = 1\nend\n",
-        );
+        let f = parse_src("program p\n integer i, j\n real a(1:10), b(5)\n i = 1\nend\n");
         assert_eq!(f.units.len(), 1);
         let u = &f.units[0];
         assert_eq!(u.kind, UnitKind::Program);
@@ -549,7 +546,9 @@ mod tests {
     fn parses_do_loop_with_step() {
         let f = parse_src("program p\n integer i\n do i = 1, 10, 2\n i = i\n enddo\nend\n");
         match &f.units[0].body[0] {
-            Stmt::Do { var, step, body, .. } => {
+            Stmt::Do {
+                var, step, body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert!(step.is_some());
                 assert_eq!(body.len(), 1);

@@ -159,7 +159,11 @@ end
             optimize_program(&mut p, &OptimizeOptions::scheme(scheme));
             assert_valid(&p);
             let opt = run(&p, &Limits::default()).unwrap();
-            assert_eq!(opt.trap.is_some(), naive.trap.is_some(), "{scheme:?}\n{src}");
+            assert_eq!(
+                opt.trap.is_some(),
+                naive.trap.is_some(),
+                "{scheme:?}\n{src}"
+            );
             if naive.trap.is_none() {
                 assert_eq!(opt.output, naive.output, "{scheme:?}\n{src}");
             }

@@ -188,7 +188,9 @@ end
         let mut p = compile(src).unwrap();
         optimize_program(&mut p, &OptimizeOptions::scheme(scheme));
         let opt = run(&p, &Limits::default()).unwrap();
-        let ot = opt.trap.unwrap_or_else(|| panic!("{scheme:?} lost the trap"));
+        let ot = opt
+            .trap
+            .unwrap_or_else(|| panic!("{scheme:?} lost the trap"));
         assert!(ot.at_progress <= nt.at_progress, "{scheme:?} delayed");
     }
 }

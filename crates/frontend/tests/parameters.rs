@@ -66,10 +66,10 @@ end
 #[test]
 fn assigning_a_parameter_is_an_error() {
     assert!(compile("program p\n parameter n = 5\n n = 6\nend\n").is_err());
-    assert!(
-        compile("program p\n parameter n = 5\n integer i\n do n = 1, 3\n i = 1\n enddo\nend\n")
-            .is_err()
-    );
+    assert!(compile(
+        "program p\n parameter n = 5\n integer i\n do n = 1, 3\n i = 1\n enddo\nend\n"
+    )
+    .is_err());
 }
 
 #[test]

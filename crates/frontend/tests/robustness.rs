@@ -1,9 +1,13 @@
 //! Robustness: the frontend must never panic — any input either compiles
 //! or produces a positioned `CompileError`.
 
-use nascent_frontend::{compile, lexer, parser};
+use nascent_frontend::compile;
+#[cfg(feature = "proptest-tests")]
+use nascent_frontend::{lexer, parser};
+#[cfg(feature = "proptest-tests")]
 use proptest::prelude::*;
 
+#[cfg(feature = "proptest-tests")]
 proptest! {
     /// Arbitrary bytes never panic the lexer.
     #[test]
@@ -43,7 +47,7 @@ fn malformed_programs_error_cleanly() {
         "",
         "program",
         "program p",
-        "program p\nend",              // missing newline after end is ok?
+        "program p\nend", // missing newline after end is ok?
         "end\n",
         "program p\n integer\nend\n",
         "program p\n integer a()\nend\n",

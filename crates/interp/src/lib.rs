@@ -31,4 +31,4 @@
 
 pub mod machine;
 
-pub use machine::{run, run_traced, Limits, RunError, RunResult, Trap, TraceEvent, Value};
+pub use machine::{run, run_traced, Limits, RunError, RunResult, TraceEvent, Trap, Value};

@@ -462,9 +462,7 @@ impl<'a> Machine<'a> {
             for atom in term.atoms() {
                 let v = match atom {
                     Atom::Var(v) => frame.vars[v.index()].as_int(),
-                    Atom::Opaque(e) => self
-                        .eval_pure(frame, e)
-                        .map_or(0, Value::as_int),
+                    Atom::Opaque(e) => self.eval_pure(frame, e).map_or(0, Value::as_int),
                 };
                 prod = prod.wrapping_mul(v);
             }
@@ -494,12 +492,7 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn eval(
-        &self,
-        f: &nascent_ir::Function,
-        frame: &Frame,
-        e: &Expr,
-    ) -> Result<Value, RunError> {
+    fn eval(&self, f: &nascent_ir::Function, frame: &Frame, e: &Expr) -> Result<Value, RunError> {
         self.eval_pure(frame, e).ok_or(RunError::DivisionByZero {
             function: f.name.clone(),
         })
@@ -586,9 +579,7 @@ mod tests {
 
     #[test]
     fn computes_and_emits() {
-        let r = run_src(
-            "program p\n integer x\n x = 2 + 3 * 4\n print x\nend\n",
-        );
+        let r = run_src("program p\n integer x\n x = 2 + 3 * 4\n print x\nend\n");
         assert_eq!(r.output, vec![Value::Int(14)]);
         assert!(r.trap.is_none());
         assert_eq!(r.dynamic_checks, 0);
@@ -606,18 +597,14 @@ mod tests {
 
     #[test]
     fn failing_check_traps() {
-        let r = run_src(
-            "program p\n integer a(1:5)\n integer i\n i = 7\n a(i) = 1\nend\n",
-        );
+        let r = run_src("program p\n integer a(1:5)\n integer i\n i = 7\n a(i) = 1\nend\n");
         let trap = r.trap.expect("should trap");
         assert!(trap.check.contains("Check ("), "got {}", trap.check);
     }
 
     #[test]
     fn lower_bound_violation_traps() {
-        let r = run_src(
-            "program p\n integer a(3:5)\n integer i\n i = 1\n a(i) = 1\nend\n",
-        );
+        let r = run_src("program p\n integer a(3:5)\n integer i\n i = 1\n a(i) = 1\nend\n");
         assert!(r.trap.is_some());
     }
 
@@ -687,8 +674,9 @@ mod tests {
 
     #[test]
     fn step_limit_catches_infinite_loop() {
-        let p = compile("program p\n integer i\n i = 0\n while (0 == 0)\n i = i + 1\n endwhile\nend\n")
-            .unwrap();
+        let p =
+            compile("program p\n integer i\n i = 0\n while (0 == 0)\n i = i + 1\n endwhile\nend\n")
+                .unwrap();
         let limits = Limits {
             max_steps: 10_000,
             max_call_depth: 8,
@@ -698,10 +686,9 @@ mod tests {
 
     #[test]
     fn recursion_depth_limited() {
-        let p = compile(
-            "subroutine r(x)\n integer x\n call r(x)\nend\nprogram p\n call r(1)\nend\n",
-        )
-        .unwrap();
+        let p =
+            compile("subroutine r(x)\n integer x\n call r(x)\nend\nprogram p\n call r(1)\nend\n")
+                .unwrap();
         assert!(matches!(
             run(&p, &Limits::default()),
             Err(RunError::CallDepth) | Err(RunError::StepLimit)

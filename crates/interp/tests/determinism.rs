@@ -1,5 +1,8 @@
 //! Interpreter invariants: determinism, counter consistency, and
 //! trap-point stability.
+#![cfg(feature = "proptest-tests")]
+// Entire file is property-based; gated so `--no-default-features`
+// builds without the vendored proptest shim.
 
 use nascent_frontend::{compile, compile_with, CheckInsertion};
 use nascent_interp::{run, Limits};
@@ -43,16 +46,9 @@ fn checked_and_unchecked_agree_on_everything_but_checks() {
 end
 ";
     let checked = run(&compile(src).unwrap(), &limits()).unwrap();
-    let unchecked = run(
-        &compile_with(src, CheckInsertion::None).unwrap(),
-        &limits(),
-    )
-    .unwrap();
+    let unchecked = run(&compile_with(src, CheckInsertion::None).unwrap(), &limits()).unwrap();
     assert_eq!(checked.output, unchecked.output);
-    assert_eq!(
-        checked.dynamic_instructions,
-        unchecked.dynamic_instructions
-    );
+    assert_eq!(checked.dynamic_instructions, unchecked.dynamic_instructions);
     assert_eq!(unchecked.dynamic_checks, 0);
     assert_eq!(checked.dynamic_checks, 62); // 30 stores * 2 + 1 load * 2
 }

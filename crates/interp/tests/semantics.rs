@@ -147,10 +147,9 @@ end
 
 #[test]
 fn negative_extent_is_a_run_error() {
-    let p = compile(
-        "subroutine s(n)\n integer n\n integer a(1:n)\nend\nprogram p\n call s(-5)\nend\n",
-    )
-    .unwrap();
+    let p =
+        compile("subroutine s(n)\n integer n\n integer a(1:n)\nend\nprogram p\n call s(-5)\nend\n")
+            .unwrap();
     assert!(matches!(
         run(&p, &Limits::default()),
         Err(RunError::BadBounds { .. })

@@ -50,12 +50,7 @@ impl FunctionBuilder {
     }
 
     /// Declares an array with `(lower, upper)` bounds per dimension.
-    pub fn array(
-        &mut self,
-        name: impl Into<String>,
-        ty: Ty,
-        dims: Vec<(Expr, Expr)>,
-    ) -> ArrayId {
+    pub fn array(&mut self, name: impl Into<String>, ty: Ty, dims: Vec<(Expr, Expr)>) -> ArrayId {
         let id = ArrayId(self.func.arrays.len() as u32);
         self.func.arrays.push(ArrayInfo {
             name: name.into(),

@@ -250,7 +250,10 @@ mod tests {
     #[test]
     fn display_matches_paper_style() {
         let c = CheckExpr::lower(&Expr::var(v(0)), &Expr::int(3));
-        assert_eq!(format!("{}", Check::unconditional(c.clone())), "Check (-v0 <= -3)");
+        assert_eq!(
+            format!("{}", Check::unconditional(c.clone())),
+            "Check (-v0 <= -3)"
+        );
         let g = CheckExpr::upper(&Expr::int(1), &Expr::var(v(1)));
         let cc = Check::conditional(vec![g], c);
         assert!(format!("{cc}").starts_with("Cond-check (("));

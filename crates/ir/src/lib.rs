@@ -42,6 +42,6 @@ pub mod validate;
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use cfg::{Block, BlockId, Function, Program};
 pub use check::{Check, CheckExpr};
-pub use expr::{BinOp, Expr, R64, Ty, UnOp};
+pub use expr::{BinOp, Expr, Ty, UnOp, R64};
 pub use linform::{Atom, LinForm, Term};
 pub use stmt::{Arg, ArrayId, ArrayInfo, FuncId, Param, Stmt, Terminator, VarId, VarInfo};

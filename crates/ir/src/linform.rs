@@ -416,10 +416,7 @@ mod tests {
         ));
         let b = LinForm::from_expr(&Expr::add(
             Expr::int(1),
-            Expr::sub(
-                Expr::var(v(0)),
-                Expr::mul(Expr::var(v(1)), Expr::int(4)),
-            ),
+            Expr::sub(Expr::var(v(0)), Expr::mul(Expr::var(v(1)), Expr::int(4))),
         ));
         assert_eq!(a, b);
         assert_eq!(a.constant_part(), 1);
@@ -478,10 +475,7 @@ mod tests {
         assert_eq!(s.coeff_of_var(v(1)), 1);
         assert_eq!(s.constant_part(), -2);
         // refuse to substitute into a product term
-        let g = LinForm::from_terms(
-            [(Term::var(v(0)).product(&Term::var(v(1))), 1)],
-            0,
-        );
+        let g = LinForm::from_terms([(Term::var(v(0)).product(&Term::var(v(1))), 1)], 0);
         assert!(g.substitute_var(v(0), &r).is_none());
     }
 

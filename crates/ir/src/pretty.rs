@@ -78,18 +78,12 @@ pub fn stmt_to_string(f: &Function, s: &Stmt) -> String {
 /// Renders a check (or conditional check) with source-level names, in
 /// the paper's notation.
 pub fn check_to_string(f: &Function, c: &crate::Check) -> String {
-    let one = |ce: &crate::CheckExpr| {
-        format!("{} <= {}", linform_to_string(f, ce.form()), ce.bound())
-    };
+    let one =
+        |ce: &crate::CheckExpr| format!("{} <= {}", linform_to_string(f, ce.form()), ce.bound());
     if c.guards.is_empty() {
         format!("Check ({})", one(&c.cond))
     } else {
-        let guards = c
-            .guards
-            .iter()
-            .map(|g| one(g))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let guards = c.guards.iter().map(&one).collect::<Vec<_>>().join(", ");
         format!("Cond-check (({guards}), {})", one(&c.cond))
     }
 }

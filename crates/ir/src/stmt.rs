@@ -176,7 +176,10 @@ impl Stmt {
     pub fn cost(&self) -> u64 {
         match self {
             Stmt::Assign { value, .. } => value.cost() + 1,
-            Stmt::Load { index, .. } | Stmt::Store { index, value: _, .. } => {
+            Stmt::Load { index, .. }
+            | Stmt::Store {
+                index, value: _, ..
+            } => {
                 let idx: u64 = index.iter().map(Expr::cost).sum();
                 let addr = index.len().saturating_sub(1) as u64;
                 let val = if let Stmt::Store { value, .. } = self {

@@ -25,12 +25,7 @@ impl fmt::Display for ValidateError {
 
 impl std::error::Error for ValidateError {}
 
-fn check_expr_vars(
-    f: &Function,
-    e: &Expr,
-    errs: &mut Vec<ValidateError>,
-    ctx: &str,
-) {
+fn check_expr_vars(f: &Function, e: &Expr, errs: &mut Vec<ValidateError>, ctx: &str) {
     for v in e.vars() {
         if v.index() >= f.vars.len() {
             errs.push(ValidateError {

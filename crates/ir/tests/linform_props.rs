@@ -1,6 +1,9 @@
 //! Property-based tests for the canonical multilinear forms: [`LinForm`]
 //! arithmetic must be a homomorphic image of expression evaluation, and
 //! canonicalization must be stable.
+#![cfg(feature = "proptest-tests")]
+// Entire file is property-based; gated so `--no-default-features`
+// builds without the vendored proptest shim.
 
 use std::collections::HashMap;
 
@@ -22,8 +25,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::sub(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
             inner.clone().prop_map(Expr::neg),
-            (inner.clone(), 1i64..5)
-                .prop_map(|(a, k)| Expr::bin(BinOp::Div, a, Expr::int(k))),
+            (inner.clone(), 1i64..5).prop_map(|(a, k)| Expr::bin(BinOp::Div, a, Expr::int(k))),
         ]
     })
 }
@@ -36,8 +38,7 @@ fn eval_expr(e: &Expr, env: &[i64]) -> i64 {
         Expr::Unary(UnOp::Neg, inner) => eval_expr(inner, env).wrapping_neg(),
         Expr::Unary(UnOp::Not, inner) => i64::from(eval_expr(inner, env) == 0),
         Expr::Binary(op, l, r) => {
-            nascent_ir::expr::eval_int_binop(*op, eval_expr(l, env), eval_expr(r, env))
-                .unwrap_or(0)
+            nascent_ir::expr::eval_int_binop(*op, eval_expr(l, env), eval_expr(r, env)).unwrap_or(0)
         }
     }
 }

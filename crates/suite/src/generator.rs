@@ -102,8 +102,7 @@ impl Gen<'_> {
         for i in 0..self.cfg.arrays {
             let (lo, hi) = self.array_bounds(i);
             bounds.push((lo, hi));
-            self.out
-                .push_str(&format!(" integer a{i}({lo}:{hi})\n"));
+            self.out.push_str(&format!(" integer a{i}({lo}:{hi})\n"));
         }
         // initialize scalars to small values
         for i in 0..self.cfg.scalars {
@@ -179,21 +178,18 @@ impl Gen<'_> {
                 let bi = self.rng.gen_range(0..bounds.len());
                 let (blo, bhi) = bounds[bi];
                 let rsub = self.subscript(blo, bhi);
-                self.out.push_str(&format!(
-                    "{indent}a{ai}({sub}) = a{bi}({rsub}) + 1\n"
-                ));
+                self.out
+                    .push_str(&format!("{indent}a{ai}({sub}) = a{bi}({rsub}) + 1\n"));
             } else {
                 let e = self.expr(1);
-                self.out
-                    .push_str(&format!("{indent}a{ai}({sub}) = {e}\n"));
+                self.out.push_str(&format!("{indent}a{ai}({sub}) = {e}\n"));
             }
         } else if choice < 80 && depth < self.cfg.max_depth && self.loop_depth < 3 {
             // counted loop over a fresh-ish variable
             if let Some(v) = self.rand_assignable() {
                 let lo = self.rng.gen_range(0..3);
                 let hi = lo + self.rng.gen_range(1..8);
-                self.out
-                    .push_str(&format!("{indent}do {v} = {lo}, {hi}\n"));
+                self.out.push_str(&format!("{indent}do {v} = {lo}, {hi}\n"));
                 self.loop_vars.push(v);
                 self.loop_depth += 1;
                 let n = self.rng.gen_range(1..=self.cfg.max_stmts);
@@ -207,7 +203,11 @@ impl Gen<'_> {
         } else if choice < 84 && self.loop_depth > 0 {
             // loop control, guarded so loops still terminate quickly
             let c = self.expr(1);
-            let kw = if self.rng.gen_bool(0.5) { "exit" } else { "cycle" };
+            let kw = if self.rng.gen_bool(0.5) {
+                "exit"
+            } else {
+                "cycle"
+            };
             self.out.push_str(&format!(
                 "{indent}if ({c} == 3) then
 {indent} {kw}

@@ -117,11 +117,10 @@ mod tests {
     #[test]
     fn all_programs_compile_and_run_trap_free() {
         for b in test_suite() {
-            let prog = nascent_frontend::compile(&b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let prog =
+                nascent_frontend::compile(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             nascent_ir::validate::assert_valid(&prog);
-            let r = run(&prog, &Limits::default())
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let r = run(&prog, &Limits::default()).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(r.trap.is_none(), "{} trapped: {:?}", b.name, r.trap);
             assert!(r.dynamic_checks > 0, "{} performs no checks", b.name);
             assert!(!r.output.is_empty(), "{} emits no output", b.name);

@@ -1,0 +1,19 @@
+//! Static safety certifier for the range-check optimizer.
+//!
+//! Two cooperating passes (see DESIGN.md §2 row 17):
+//!
+//! * [`vra`] — symbolic value-range analysis: an SSA-based interval
+//!   analysis over [`nascent_ir::LinForm`] bounds that proves a
+//!   canonical check `form <= bound` true, false, or unknown.
+//! * [`validate`] — translation validation: independently re-checks the
+//!   justification log emitted by `nascent_rangecheck::optimize_function`
+//!   against the optimized CFG, using VRA plus a from-scratch
+//!   availability recomputation. Any uncovered obligation becomes a
+//!   structured [`Diagnostic`] naming the check, the location, and the
+//!   failed implication.
+
+pub mod vra;
+
+mod validate;
+
+pub use validate::{certify_function, certify_program, Certificate, Diagnostic};

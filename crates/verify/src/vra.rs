@@ -1,0 +1,633 @@
+//! Symbolic value-range analysis over canonical check forms.
+//!
+//! A forward data-flow analysis that tracks, per scalar variable, a
+//! constant interval and optional *symbolic* bounds (a [`LinForm`] known
+//! to be `>=` or `<=` the variable). Facts come from assignments, from
+//! performed (unconditional) checks, from branch conditions on each CFG
+//! edge, and from induction-variable trip-count facts at loop body
+//! entries (the body-valid `lower <= iv <= upper` range computed by
+//! `nascent_analysis::loops`). Loop heads are widened so the fixpoint
+//! terminates.
+//!
+//! The analysis answers one question: is a canonical check
+//! `form <= bound` provably true, provably false, or unknown at a
+//! program point ([`Env::verdict`]).
+//!
+//! Like the optimizer's data-flow systems, `Call` statements are assumed
+//! not to modify the caller's scalars (the frontend passes scalars by
+//! value); `Load` makes the target unknown. All interval arithmetic is
+//! *checked*: an overflowing bound degrades to "unbounded" rather than
+//! wrapping, because the concrete semantics wrap and a wrapped abstract
+//! bound would be unsound.
+
+use std::collections::HashMap;
+
+use nascent_analysis::loops::LoopForest;
+use nascent_ir::{
+    Atom, BinOp, CheckExpr, Expr, Function, LinForm, Stmt, Term, Terminator, UnOp, VarId,
+};
+
+/// A (possibly half-open) constant interval. `None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interval {
+    /// Greatest known constant lower bound.
+    pub lo: Option<i64>,
+    /// Least known constant upper bound.
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The unbounded interval.
+    pub fn top() -> Interval {
+        Interval::default()
+    }
+
+    /// True when the interval contains no value.
+    pub fn is_empty(self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.zip(other.lo).map(|(a, b)| a.min(b)),
+            hi: self.hi.zip(other.hi).map(|(a, b)| a.max(b)),
+        }
+    }
+}
+
+/// Recursion budget for chasing symbolic bounds in [`Env::verdict`].
+const SYM_DEPTH: u32 = 3;
+
+/// The abstract state at one program point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Env {
+    intervals: HashMap<VarId, Interval>,
+    /// `v <= form` facts.
+    sym_upper: HashMap<VarId, LinForm>,
+    /// `form <= v` facts.
+    sym_lower: HashMap<VarId, LinForm>,
+    /// Unreachable state (e.g. after a `TRAP` or a contradiction).
+    pub bottom: bool,
+}
+
+impl Env {
+    /// The unconstrained, reachable state.
+    pub fn top() -> Env {
+        Env::default()
+    }
+
+    /// The unreachable state.
+    pub fn unreachable() -> Env {
+        Env {
+            bottom: true,
+            ..Env::default()
+        }
+    }
+
+    /// The interval currently known for `v`.
+    pub fn interval(&self, v: VarId) -> Interval {
+        self.intervals.get(&v).copied().unwrap_or_default()
+    }
+
+    fn set_interval(&mut self, v: VarId, i: Interval) {
+        if i == Interval::top() {
+            self.intervals.remove(&v);
+        } else {
+            self.intervals.insert(v, i);
+        }
+    }
+
+    /// Forgets symbolic bounds that mention `v` (on either side).
+    fn kill_sym_mentioning(&mut self, v: VarId) {
+        self.sym_upper
+            .retain(|var, form| *var != v && !form.uses_var(v));
+        self.sym_lower
+            .retain(|var, form| *var != v && !form.uses_var(v));
+    }
+
+    /// Join (control-flow merge). Bottom is the identity.
+    pub fn join(&self, other: &Env) -> Env {
+        if self.bottom {
+            return other.clone();
+        }
+        if other.bottom {
+            return self.clone();
+        }
+        let mut intervals = HashMap::new();
+        for (v, i) in &self.intervals {
+            let j = i.join(other.interval(*v));
+            if j != Interval::top() {
+                intervals.insert(*v, j);
+            }
+        }
+        let keep_equal = |a: &HashMap<VarId, LinForm>, b: &HashMap<VarId, LinForm>| {
+            a.iter()
+                .filter(|(v, f)| b.get(v) == Some(f))
+                .map(|(v, f)| (*v, f.clone()))
+                .collect::<HashMap<_, _>>()
+        };
+        Env {
+            intervals,
+            sym_upper: keep_equal(&self.sym_upper, &other.sym_upper),
+            sym_lower: keep_equal(&self.sym_lower, &other.sym_lower),
+            bottom: false,
+        }
+    }
+
+    /// Widens `self` against the previous fixpoint state: any interval
+    /// endpoint that changed goes to unbounded, and symbolic facts not
+    /// present identically in both are dropped.
+    fn widen_against(&mut self, prev: &Env) {
+        if self.bottom || prev.bottom {
+            return;
+        }
+        let vars: Vec<VarId> = self.intervals.keys().copied().collect();
+        for v in vars {
+            let cur = self.interval(v);
+            let old = prev.interval(v);
+            let w = Interval {
+                lo: if cur.lo == old.lo { cur.lo } else { None },
+                hi: if cur.hi == old.hi { cur.hi } else { None },
+            };
+            self.set_interval(v, w);
+        }
+        self.sym_upper
+            .retain(|v, f| prev.sym_upper.get(v) == Some(f));
+        self.sym_lower
+            .retain(|v, f| prev.sym_lower.get(v) == Some(f));
+    }
+
+    /// Best constant upper bound on the value of `form`, chasing symbolic
+    /// bounds up to `depth` substitutions.
+    fn upper(&self, form: &LinForm, depth: u32) -> Option<i64> {
+        let mut acc: i64 = form.constant_part();
+        for (t, c) in form.terms() {
+            let var_bound = match t.atoms() {
+                [Atom::Var(v)] => {
+                    if c > 0 {
+                        self.var_upper(*v, depth)
+                    } else {
+                        self.var_lower(*v, depth)
+                    }
+                }
+                _ => None, // opaque or degree > 1: unbounded
+            };
+            acc = acc.checked_add(var_bound?.checked_mul(c)?)?;
+        }
+        Some(acc)
+    }
+
+    /// Best constant lower bound on the value of `form`.
+    fn lower(&self, form: &LinForm, depth: u32) -> Option<i64> {
+        self.upper(&form.neg(), depth)?.checked_neg()
+    }
+
+    fn var_upper(&self, v: VarId, depth: u32) -> Option<i64> {
+        let mut best = self.interval(v).hi;
+        if depth > 0 {
+            if let Some(f) = self.sym_upper.get(&v) {
+                if let Some(b) = self.upper(f, depth - 1) {
+                    best = Some(best.map_or(b, |x| x.min(b)));
+                }
+            }
+        }
+        best
+    }
+
+    fn var_lower(&self, v: VarId, depth: u32) -> Option<i64> {
+        let mut best = self.interval(v).lo;
+        if depth > 0 {
+            if let Some(f) = self.sym_lower.get(&v) {
+                if let Some(b) = self.lower(f, depth - 1) {
+                    best = Some(best.map_or(b, |x| x.max(b)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Decides a canonical check at this point: `Some(true)` when
+    /// `form <= bound` always holds here (vacuously so at an unreachable
+    /// point), `Some(false)` when it never holds, `None` when unknown.
+    pub fn verdict(&self, check: &CheckExpr) -> Option<bool> {
+        if self.bottom {
+            return Some(true);
+        }
+        if let Some(hi) = self.upper(check.form(), SYM_DEPTH) {
+            if hi <= check.bound() {
+                return Some(true);
+            }
+        }
+        if let Some(lo) = self.lower(check.form(), SYM_DEPTH) {
+            if lo > check.bound() {
+                return Some(false);
+            }
+        }
+        None
+    }
+
+    /// Records the fact `form <= bound` (a passed check or a taken
+    /// branch).
+    pub fn assume_le(&mut self, form: &LinForm, bound: i64) {
+        if self.bottom {
+            return;
+        }
+        if form.is_constant() {
+            if form.constant_part() > bound {
+                self.bottom = true;
+            }
+            return;
+        }
+        // refine each degree-1 variable using bounds on the other terms
+        let targets: Vec<(VarId, i64)> = form
+            .terms()
+            .filter_map(|(t, c)| match t.atoms() {
+                [Atom::Var(v)] => Some((*v, c)),
+                _ => None,
+            })
+            .collect();
+        for (v, c) in targets {
+            // c*v <= bound - rest, where rest = form - c*v
+            let mut rest = form.clone();
+            rest.add_term(Term::var(v), -c);
+            if let Some(rest_lo) = self.lower(&rest, SYM_DEPTH) {
+                if let Some(num) = bound.checked_sub(rest_lo) {
+                    let mut iv = self.interval(v);
+                    if c > 0 {
+                        let b = num.div_euclid(c);
+                        iv.hi = Some(iv.hi.map_or(b, |x| x.min(b)));
+                    } else {
+                        // c < 0:  v >= ceil(num / c)
+                        let b = -num.div_euclid(-c);
+                        iv.lo = Some(iv.lo.map_or(b, |x| x.max(b)));
+                    }
+                    if iv.is_empty() {
+                        self.bottom = true;
+                        return;
+                    }
+                    self.set_interval(v, iv);
+                }
+            }
+            // symbolic refinement for unit coefficients
+            if c == 1 {
+                // v <= bound - rest
+                let ub = LinForm::constant(bound).sub(&rest);
+                if !ub.uses_var(v) {
+                    self.sym_upper.insert(v, ub);
+                }
+            } else if c == -1 {
+                // rest - bound <= v
+                let lb = rest.sub(&LinForm::constant(bound));
+                if !lb.uses_var(v) {
+                    self.sym_lower.insert(v, lb);
+                }
+            }
+        }
+    }
+
+    /// Transfer function for one statement.
+    pub fn step(&mut self, s: &Stmt) {
+        if self.bottom {
+            return;
+        }
+        match s {
+            Stmt::Assign { var, value } => {
+                let form = LinForm::from_expr(value);
+                // evaluate the rhs in the *pre* state
+                let iv = Interval {
+                    lo: self.lower(&form, SYM_DEPTH),
+                    hi: self.upper(&form, SYM_DEPTH),
+                };
+                self.kill_sym_mentioning(*var);
+                self.set_interval(*var, iv);
+                // record the symbolic equality when the rhs is affine in
+                // other plain variables only
+                if !form.uses_var(*var)
+                    && form
+                        .terms()
+                        .all(|(t, _)| matches!(t.atoms(), [Atom::Var(_)]))
+                {
+                    self.sym_upper.insert(*var, form.clone());
+                    self.sym_lower.insert(*var, form);
+                }
+            }
+            Stmt::Load { var, .. } => {
+                self.kill_sym_mentioning(*var);
+                self.set_interval(*var, Interval::top());
+            }
+            Stmt::Check(c) => {
+                if c.is_unconditional() {
+                    // execution continues only when the check passed
+                    self.assume_le(c.cond.form(), c.cond.bound());
+                }
+            }
+            Stmt::Trap { .. } => {
+                self.bottom = true;
+            }
+            Stmt::Store { .. } | Stmt::Call { .. } | Stmt::Emit(_) => {}
+        }
+    }
+
+    /// Refines by a branch condition known to have the given truth value.
+    pub fn assume_cond(&mut self, cond: &Expr, truth: bool) {
+        match cond {
+            Expr::Unary(UnOp::Not, inner) => self.assume_cond(inner, !truth),
+            Expr::Binary(BinOp::And, a, b) if truth => {
+                self.assume_cond(a, true);
+                self.assume_cond(b, true);
+            }
+            Expr::Binary(BinOp::Or, a, b) if !truth => {
+                self.assume_cond(a, false);
+                self.assume_cond(b, false);
+            }
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                let d = LinForm::from_expr(l).sub(&LinForm::from_expr(r));
+                let op = if truth { *op } else { negated(*op) };
+                match op {
+                    BinOp::Le => self.assume_le(&d, 0),
+                    BinOp::Lt => self.assume_le(&d, -1),
+                    BinOp::Ge => self.assume_le(&d.neg(), 0),
+                    BinOp::Gt => self.assume_le(&d.neg(), -1),
+                    BinOp::Eq => {
+                        self.assume_le(&d, 0);
+                        self.assume_le(&d.neg(), 0);
+                    }
+                    _ => {} // Ne carries no convex information
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The comparison that holds when `op` does not.
+fn negated(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Le => BinOp::Gt,
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Ge => BinOp::Lt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        other => other,
+    }
+}
+
+/// Per-block entry states of one function. Trip-count facts are already
+/// folded into each body entry's state.
+#[derive(Debug)]
+pub struct Vra {
+    /// `entry[b.index()]` — the abstract state on entry to block `b`.
+    pub entry: Vec<Env>,
+}
+
+impl Vra {
+    /// The state just before statement `stmt` of block `b`.
+    pub fn at(&self, f: &Function, b: nascent_ir::BlockId, stmt: usize) -> Env {
+        let mut env = self.entry[b.index()].clone();
+        for s in f.block(b).stmts.iter().take(stmt) {
+            env.step(s);
+        }
+        env
+    }
+}
+
+/// Number of fact changes at one block before widening kicks in.
+const WIDEN_AFTER: u32 = 2;
+
+/// Hard iteration backstop; on overrun every remaining fact degrades to
+/// top, which is sound (verdicts just become "unknown" more often).
+fn iteration_cap(f: &Function) -> u32 {
+    (f.blocks.len() as u32 + 8) * 16
+}
+
+/// Runs the analysis to a fixpoint over `f`.
+pub fn analyze(f: &Function) -> Vra {
+    // trip-count facts: the body-valid iv range of each loop
+    let forest = LoopForest::compute(f);
+    let mut loop_facts: HashMap<usize, Vec<(LinForm, i64)>> = HashMap::new();
+    for info in &forest.loops {
+        let (Some(body), Some(iv)) = (info.body_entry, info.iv.as_ref()) else {
+            continue;
+        };
+        let facts = loop_facts.entry(body.index()).or_default();
+        if let Some(up) = &iv.upper {
+            // iv - upper <= 0
+            facts.push((LinForm::var(iv.var).sub(up), 0));
+        }
+        if let Some(lo) = &iv.lower {
+            // lower - iv <= 0
+            facts.push((lo.sub(&LinForm::var(iv.var)), 0));
+        }
+    }
+
+    let n = f.blocks.len();
+    let mut entry: Vec<Env> = vec![Env::unreachable(); n];
+    entry[f.entry.index()] = Env::top();
+    let mut changes: Vec<u32> = vec![0; n];
+    let mut work: Vec<usize> = vec![f.entry.index()];
+    let mut budget = iteration_cap(f);
+
+    while let Some(bi) = work.pop() {
+        if budget == 0 {
+            // backstop: degrade every reachable block to top and stop
+            for e in entry.iter_mut() {
+                if !e.bottom {
+                    *e = Env::top();
+                }
+            }
+            break;
+        }
+        budget -= 1;
+        let b = nascent_ir::BlockId(bi as u32);
+        let mut env = entry[bi].clone();
+        for s in &f.block(b).stmts {
+            env.step(s);
+        }
+        let out: Vec<(usize, Env)> = match &f.block(b).term {
+            Terminator::Jump(t) => vec![(t.index(), env)],
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let mut te = env.clone();
+                te.assume_cond(cond, true);
+                let mut ee = env;
+                ee.assume_cond(cond, false);
+                vec![(then_bb.index(), te), (else_bb.index(), ee)]
+            }
+            Terminator::Return => vec![],
+        };
+        for (succ, e) in out {
+            let mut joined = entry[succ].join(&e);
+            if changes[succ] >= WIDEN_AFTER {
+                joined.widen_against(&entry[succ]);
+            }
+            // trip-count facts are stable per block: re-asserting them
+            // after the join (and after widening) keeps them in the
+            // stored entry state without disturbing termination
+            if let Some(facts) = loop_facts.get(&succ) {
+                for (form, bound) in facts {
+                    joined.assume_le(form, *bound);
+                }
+            }
+            if joined != entry[succ] {
+                changes[succ] += 1;
+                entry[succ] = joined;
+                if !work.contains(&succ) {
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    Vra { entry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nascent_frontend::compile;
+
+    fn vra_of(src: &str) -> (Function, Vra) {
+        let p = compile(src).unwrap();
+        let f = p.main_function().clone();
+        let v = analyze(&f);
+        (f, v)
+    }
+
+    /// Verdicts at every unconditional check site, in program order.
+    fn check_verdicts(f: &Function, vra: &Vra) -> Vec<Option<bool>> {
+        let mut out = Vec::new();
+        for b in f.block_ids() {
+            for (i, s) in f.block(b).stmts.iter().enumerate() {
+                if let Stmt::Check(c) = s {
+                    if c.is_unconditional() {
+                        out.push(vra.at(f, b, i).verdict(&c.cond));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn constant_assignment_discharges_checks() {
+        let (f, vra) = vra_of("program p\n integer a(1:10)\n integer i\n i = 3\n a(i) = 0\nend\n");
+        assert_eq!(check_verdicts(&f, &vra), vec![Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn out_of_bounds_constant_is_proven_false() {
+        let (f, vra) = vra_of("program p\n integer a(1:10)\n integer i\n i = 15\n a(i) = 0\nend\n");
+        let verdicts = check_verdicts(&f, &vra);
+        // the lower check (1 <= 15) holds, the upper (15 <= 10) never does
+        assert!(verdicts.contains(&Some(false)));
+        assert!(verdicts.contains(&Some(true)));
+    }
+
+    #[test]
+    fn loop_iv_range_discharges_body_checks() {
+        let (f, vra) = vra_of(
+            "program p\n integer a(1:10)\n integer i\n do i = 1, 10\n a(i) = i\n enddo\nend\n",
+        );
+        let verdicts = check_verdicts(&f, &vra);
+        assert_eq!(verdicts.len(), 2);
+        assert!(
+            verdicts.iter().all(|v| *v == Some(true)),
+            "trip-count facts prove both body checks: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn symbolic_loop_bound_stays_unknown() {
+        let (f, vra) = vra_of(
+            "program p
+ integer a(1:10)
+ integer i, n
+ n = 20
+ do i = 1, n
+  a(i) = i
+ enddo
+end
+",
+        );
+        let verdicts = check_verdicts(&f, &vra);
+        // the lower check (1 <= i) is provable from the trip-count fact;
+        // the upper (i <= 10) must NOT be claimed true, since n = 20 makes
+        // late iterations trap
+        assert!(verdicts.contains(&Some(true)));
+        assert!(!verdicts.iter().all(|v| *v == Some(true)));
+    }
+
+    #[test]
+    fn branch_refinement_narrows_both_edges() {
+        let (f, vra) = vra_of(
+            "program p
+ integer a(1:10)
+ integer i
+ i = 0
+ if (i < 5) then
+  a(i + 1) = 1
+ else
+  a(i) = 2
+ endif
+end
+",
+        );
+        let verdicts = check_verdicts(&f, &vra);
+        // then-branch: i in [0,0], checks on i+1 hold; the else branch is
+        // statically unreachable (0 < 5), so its checks hold vacuously
+        assert!(verdicts.iter().all(|v| *v == Some(true)), "{verdicts:?}");
+    }
+
+    #[test]
+    fn widening_terminates_on_accumulators() {
+        let (f, vra) = vra_of(
+            "program p
+ integer a(1:100)
+ integer i, n, s
+ n = 50
+ s = 0
+ do i = 1, n
+  s = s + i
+  a(i) = s
+ enddo
+ print s
+end
+",
+        );
+        assert_eq!(vra.entry.len(), f.blocks.len());
+    }
+
+    #[test]
+    fn verdict_agrees_with_constant_folding() {
+        for (src, expected) in [
+            ("program p\n integer a(1:10)\n a(5) = 0\nend\n", Some(true)),
+            (
+                "program p\n integer a(1:10)\n a(15) = 0\nend\n",
+                Some(false),
+            ),
+        ] {
+            let (f, vra) = vra_of(src);
+            let mut seen = 0;
+            for b in f.block_ids() {
+                for (i, s) in f.block(b).stmts.iter().enumerate() {
+                    if let Stmt::Check(c) = s {
+                        if c.cond.constant_verdict() == expected {
+                            let env = vra.at(&f, b, i);
+                            assert_eq!(
+                                env.verdict(&c.cond),
+                                expected,
+                                "VRA must agree with fold on {}",
+                                c.cond
+                            );
+                            seen += 1;
+                        }
+                    }
+                }
+            }
+            assert!(seen > 0, "no constant check found in {src:?}");
+        }
+    }
+}

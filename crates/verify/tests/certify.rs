@@ -1,0 +1,248 @@
+//! End-to-end certification tests: the verifier must accept every
+//! optimization run the pipeline produces on the benchmark suite, and
+//! must reject runs whose justifications have been tampered with.
+
+use nascent_frontend::compile;
+use nascent_ir::Stmt;
+use nascent_rangecheck::{
+    optimize_program_logged, CheckKind, Event, ImplicationMode, OptimizeOptions, Scheme,
+};
+use nascent_suite::test_suite;
+use nascent_verify::certify_program;
+
+fn certify_source(src: &str, opts: &OptimizeOptions) -> nascent_verify::Certificate {
+    let naive = compile(src).unwrap();
+    let mut opt = naive.clone();
+    let (_, logs) = optimize_program_logged(&mut opt, opts);
+    certify_program(&naive, &opt, &logs, opts)
+}
+
+/// Every scheme × check kind × implication mode on the full ten-program
+/// suite certifies with zero uncovered obligations.
+#[test]
+fn certifier_accepts_all_schemes_on_the_suite() {
+    let suite = test_suite();
+    for scheme in Scheme::EACH {
+        for kind in [CheckKind::Prx, CheckKind::Inx] {
+            for implications in [
+                ImplicationMode::All,
+                ImplicationMode::CrossFamilyOnly,
+                ImplicationMode::None,
+            ] {
+                let opts = OptimizeOptions::scheme(scheme)
+                    .with_kind(kind)
+                    .with_implications(implications);
+                for bench in &suite {
+                    let cert = certify_source(&bench.source, &opts);
+                    assert!(
+                        cert.ok(),
+                        "{} under {}/{:?}/{:?} rejected:\n{}",
+                        bench.name,
+                        scheme.name(),
+                        kind,
+                        implications,
+                        cert.diagnostics
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    );
+                    assert!(
+                        cert.obligations > 0,
+                        "{} produced no obligations",
+                        bench.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The MCM baseline also certifies: its articulation-block hoists are a
+/// restriction of the preheader hoist the verifier replays.
+#[test]
+fn certifier_accepts_mcm_baseline_on_the_suite() {
+    let opts = OptimizeOptions::scheme(Scheme::Mcm);
+    for bench in &test_suite() {
+        let cert = certify_source(&bench.source, &opts);
+        assert!(
+            cert.ok(),
+            "{} under MCM rejected:\n{}",
+            bench.name,
+            cert.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Subscripts the range analysis cannot discharge: `n` and `k` are
+/// degree-2 products (opaque to intervals), and the two-variable form
+/// `n + k` defeats the symbolic-bound chase, so the only way to certify
+/// the check elimination is through the justification log.
+const OPAQUE_REDUNDANT: &str = "program p
+ integer a(1:100)
+ integer m, n, k
+ m = 7
+ n = m * m
+ k = m * m
+ a(n + k + 1) = 1
+ a(n + k) = 0
+end
+";
+
+/// Deleting a check without logging the decision is caught, and the
+/// diagnostic names the lost check and its site.
+#[test]
+fn rejects_unjustified_check_deletion() {
+    let opts = OptimizeOptions::scheme(Scheme::Ni).with_implications(ImplicationMode::None);
+    let naive = compile(OPAQUE_REDUNDANT).unwrap();
+    let mut opt = naive.clone();
+    let (_, logs) = optimize_program_logged(&mut opt, &opts);
+    assert!(certify_program(&naive, &opt, &logs, &opts).ok());
+
+    // hand-delete the first unconditional check anywhere in the program
+    let mut deleted = None;
+    'outer: for f in &mut opt.functions {
+        for b in &mut f.blocks {
+            for (i, s) in b.stmts.iter().enumerate() {
+                if let Stmt::Check(c) = s {
+                    if c.is_unconditional() {
+                        deleted = Some(c.cond.clone());
+                        b.stmts.remove(i);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    let deleted = deleted.expect("program has a check to delete");
+
+    let cert = certify_program(&naive, &opt, &logs, &opts);
+    assert!(!cert.ok(), "unjustified deletion must be rejected");
+    let d = &cert.diagnostics[0];
+    assert_eq!(
+        d.check,
+        deleted.to_string(),
+        "diagnostic names the lost check"
+    );
+    assert!(
+        d.reason.contains("not covered"),
+        "diagnostic explains the failure: {d}"
+    );
+}
+
+/// Tampering with an `Eliminated` event's witness — claiming the check
+/// was implied by one that does not imply it — is caught.
+#[test]
+fn rejects_tampered_elimination_witness() {
+    let opts = OptimizeOptions::scheme(Scheme::Ni).with_implications(ImplicationMode::All);
+    let naive = compile(OPAQUE_REDUNDANT).unwrap();
+    let mut opt = naive.clone();
+    let (_, mut logs) = optimize_program_logged(&mut opt, &opts);
+    assert!(certify_program(&naive, &opt, &logs, &opts).ok());
+
+    // weaken one witness until it no longer implies the deleted check
+    let mut tampered = None;
+    'outer: for log in &mut logs {
+        for e in &mut log.events {
+            if let Event::Eliminated { check, because, .. } = e {
+                *because = because.with_bound(because.bound().saturating_add(1000));
+                tampered = Some(check.clone());
+                break 'outer;
+            }
+        }
+    }
+    let tampered = tampered.expect("run eliminated at least one check");
+
+    let cert = certify_program(&naive, &opt, &logs, &opts);
+    assert!(!cert.ok(), "tampered witness must be rejected");
+    let d = cert
+        .diagnostics
+        .iter()
+        .find(|d| d.check == tampered.to_string())
+        .expect("diagnostic names the check whose justification was tampered");
+    assert!(
+        d.reason.contains("does not imply") || d.reason.contains("not available"),
+        "diagnostic explains the failed implication: {d}"
+    );
+}
+
+/// Relocating an `Eliminated` event to the wrong block leaves the real
+/// deletion site uncovered.
+#[test]
+fn rejects_relocated_elimination_event() {
+    let opts = OptimizeOptions::scheme(Scheme::Ni).with_implications(ImplicationMode::All);
+    let naive = compile(OPAQUE_REDUNDANT).unwrap();
+    let mut opt = naive.clone();
+    let (_, mut logs) = optimize_program_logged(&mut opt, &opts);
+
+    let mut moved = false;
+    'outer: for log in &mut logs {
+        for e in &mut log.events {
+            if let Event::Eliminated { block, .. } = e {
+                *block = nascent_ir::BlockId(block.index() as u32 + 1_000);
+                moved = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(moved, "run eliminated at least one check");
+
+    let cert = certify_program(&naive, &opt, &logs, &opts);
+    assert!(
+        !cert.ok(),
+        "relocated event must leave the deletion uncovered"
+    );
+}
+
+/// A provable range violation: the hoisted upper-bound check folds to an
+/// unconditional trap in the preheader. The early trap certifies (the
+/// folded check is itself a justified hoist) and the deleted in-loop
+/// check is vacuously covered by the dominating trap.
+#[test]
+fn certifier_accepts_folded_false_hoist_trap() {
+    let src = "program bad
+ integer a(1:5)
+ integer i
+ do i = 1, 9
+  a(i) = i
+ enddo
+end
+";
+    for scheme in Scheme::EACH {
+        let opts = OptimizeOptions::scheme(scheme);
+        let cert = certify_source(src, &opts);
+        assert!(
+            cert.ok(),
+            "trapping program under {} rejected:\n{}",
+            scheme.name(),
+            cert.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// The value-range analysis statically discharges checks on a meaningful
+/// fraction of the suite (constant bounds, loop trip counts).
+#[test]
+fn vra_discharges_checks_on_several_suite_programs() {
+    let opts = OptimizeOptions::scheme(Scheme::Ni);
+    let mut programs_with_discharge = 0;
+    for bench in &test_suite() {
+        let cert = certify_source(&bench.source, &opts);
+        assert!(cert.ok());
+        if cert.vra_discharged > 0 {
+            programs_with_discharge += 1;
+        }
+    }
+    assert!(
+        programs_with_discharge >= 3,
+        "VRA discharged checks on only {programs_with_discharge} of 10 programs"
+    );
+}

@@ -49,7 +49,12 @@ fn main() {
         let r = run(&prog, &Limits::default()).expect("optimized runs");
         assert_eq!(r.output, naive.output, "{scheme:?} changed behavior");
         let pct = 100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks as f64);
-        println!("{:<8} {:>12} {:>11.1}%", scheme.name(), r.dynamic_checks, pct);
+        println!(
+            "{:<8} {:>12} {:>11.1}%",
+            scheme.name(),
+            r.dynamic_checks,
+            pct
+        );
     }
     println!("\nLLS/ALL should dominate, exactly as in the paper's Table 2.");
 }

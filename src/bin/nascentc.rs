@@ -9,6 +9,7 @@
 //! nascentc trace  <file.mf> [n] [options]    print the first n executed stmts
 //! nascentc report <file.mf> [options]       per-family before/after report
 //! nascentc compare <file.mf>                all schemes side by side
+//! nascentc verify <file.mf> [options]       certify the optimization run
 //!
 //! options:
 //!   --scheme NI|CS|LNI|SE|LI|LLS|ALL|MCM    placement scheme (default LLS)
@@ -16,7 +17,13 @@
 //!   --inx                                   use induction-expression checks
 //!   --implications all|cross|none           implication ablation
 //!   --no-opt                                keep the naive checks
+//!   --certify                               (stats/report) also run the
+//!                                           static certifier on the result
 //! ```
+//!
+//! `verify` (and `--certify`) re-optimizes with the justification log
+//! enabled and replays every decision through `nascent::verify`; the exit
+//! code is non-zero if any proof obligation fails.
 
 use std::process::ExitCode;
 
@@ -24,8 +31,10 @@ use nascent::frontend::compile;
 use nascent::interp::{run, Limits};
 use nascent::ir::pretty::DisplayProgram;
 use nascent::rangecheck::{
-    optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme,
+    optimize_program, optimize_program_logged, CheckKind, ImplicationMode, JustLog,
+    OptimizeOptions, OptimizeStats, Scheme,
 };
+use nascent::verify::{certify_program, Certificate};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,12 +51,14 @@ struct Options {
     opts: OptimizeOptions,
     optimize: bool,
     classic: bool,
+    certify: bool,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut opts = OptimizeOptions::scheme(Scheme::Lls);
     let mut optimize = true;
     let mut classic = false;
+    let mut certify = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -79,6 +90,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
             }
             "--no-opt" => optimize = false,
             "--classic" => classic = true,
+            "--certify" => certify = true,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -87,7 +99,45 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         opts,
         optimize,
         classic,
+        certify,
     })
+}
+
+/// Applies the classic pre-pass, snapshots the reference program, runs the
+/// logged optimizer, and certifies the run. The reference is taken *after*
+/// the classic pre-pass: the certifier validates the range-check
+/// optimization, not the scalar optimizations.
+fn optimize_and_certify(
+    options: &Options,
+    prog: &mut nascent::ir::Program,
+) -> (OptimizeStats, Certificate) {
+    if options.classic {
+        for f in &mut prog.functions {
+            nascent::classic::optimize_classic(f);
+        }
+    }
+    let reference = prog.clone();
+    let (stats, logs) = if options.optimize {
+        optimize_program_logged(prog, &options.opts)
+    } else {
+        let logs = (0..prog.functions.len()).map(|_| JustLog::new()).collect();
+        (OptimizeStats::default(), logs)
+    };
+    let cert = certify_program(&reference, prog, &logs, &options.opts);
+    (stats, cert)
+}
+
+/// Prints a certificate, diagnostics first; `Err` when it was rejected.
+fn render_certificate(cert: &Certificate) -> Result<(), String> {
+    for d in &cert.diagnostics {
+        eprintln!("  {d}");
+    }
+    if cert.ok() {
+        println!("{cert}");
+        Ok(())
+    } else {
+        Err(cert.to_string())
+    }
 }
 
 fn apply(options: &Options, prog: &mut nascent::ir::Program) {
@@ -107,13 +157,14 @@ fn load(path: &str) -> Result<nascent::ir::Program, String> {
 }
 
 fn run_cli(args: &[String]) -> Result<(), String> {
-    let (cmd, file, rest) = match args {
-        [cmd, file, rest @ ..] => (cmd.as_str(), file.as_str(), rest),
-        _ => {
-            return Err("usage: nascentc <check|dump|run|stats|report|compare> <file.mf> [options]"
-                .to_string())
-        }
-    };
+    let (cmd, file, rest) =
+        match args {
+            [cmd, file, rest @ ..] => (cmd.as_str(), file.as_str(), rest),
+            _ => return Err(
+                "usage: nascentc <check|dump|run|stats|report|compare|verify> <file.mf> [options]"
+                    .to_string(),
+            ),
+        };
     match cmd {
         "check" => {
             load(file)?;
@@ -150,36 +201,37 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "stats" => {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            if options.classic {
-                for f in &mut prog.functions {
-                    nascent::classic::optimize_classic(f);
-                }
-            }
-            let stats = optimize_program(&mut prog, &options.opts);
+            let (stats, cert) = optimize_and_certify(&options, &mut prog);
             println!("scheme:            {}", options.opts.scheme.name());
-            println!("static checks:     {} -> {}", stats.static_before, stats.static_after);
+            println!(
+                "static checks:     {} -> {}",
+                stats.static_before, stats.static_after
+            );
             println!("inserted (PRE):    {}", stats.inserted);
             println!("hoisted (preheader): {}", stats.hoisted);
             println!("strengthened:      {}", stats.strengthened);
             println!("eliminated:        {}", stats.eliminated_static);
-            println!("folded true/false: {}/{}", stats.folded_true, stats.folded_false);
+            println!(
+                "folded true/false: {}/{}",
+                stats.folded_true, stats.folded_false
+            );
             println!("families:          {}", stats.families);
             println!("CIG edges:         {}", stats.cig_edges);
             println!("dataflow iters:    {}", stats.dataflow_iterations);
+            if options.certify {
+                render_certificate(&cert)?;
+            }
             Ok(())
         }
         "trace" => {
             let (count, rest) = match rest {
-                [n, more @ ..] if n.parse::<usize>().is_ok() => {
-                    (n.parse::<usize>().unwrap(), more)
-                }
+                [n, more @ ..] if n.parse::<usize>().is_ok() => (n.parse::<usize>().unwrap(), more),
                 _ => (50, rest),
             };
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
             apply(&options, &mut prog);
-            let (r, trace) =
-                nascent::interp::run_traced(&prog, &Limits::default(), count);
+            let (r, trace) = nascent::interp::run_traced(&prog, &Limits::default(), count);
             for e in &trace {
                 println!("{}:{}[{}]  {}", e.function, e.block, e.stmt, e.rendered);
             }
@@ -193,9 +245,24 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             let options = parse_options(rest)?;
             let before = load(file)?;
             let mut after = load(file)?;
-            apply(&options, &mut after);
+            let (_, cert) = optimize_and_certify(&options, &mut after);
             print!("{}", nascent::rangecheck::report::report(&before, &after));
+            if options.certify {
+                render_certificate(&cert)?;
+            }
             Ok(())
+        }
+        "verify" => {
+            let options = parse_options(rest)?;
+            let mut prog = load(file)?;
+            let (_, cert) = optimize_and_certify(&options, &mut prog);
+            println!(
+                "scheme {} / {:?} / {:?} implications",
+                options.opts.scheme.name(),
+                options.opts.kind,
+                options.opts.implications
+            );
+            render_certificate(&cert)
         }
         "compare" => {
             let naive_prog = load(file)?;
@@ -211,7 +278,12 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 let r = run(&prog, &Limits::default()).map_err(|e| e.to_string())?;
                 let pct =
                     100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);
-                println!("{:<6} {:>12} {:>9.1}%", scheme.name(), r.dynamic_checks, pct);
+                println!(
+                    "{:<6} {:>12} {:>9.1}%",
+                    scheme.name(),
+                    r.dynamic_checks,
+                    pct
+                );
             }
             Ok(())
         }

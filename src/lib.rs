@@ -13,7 +13,9 @@
 //! * [`cback`] — the instrumented C back end (the paper's measurement
 //!   methodology), cross-validated against the interpreter,
 //! * [`classic`] — traditional scalar optimizations (constant/copy
-//!   propagation, branch folding, DCE, CFG cleanup) usable as a pre-pass.
+//!   propagation, branch folding, DCE, CFG cleanup) usable as a pre-pass,
+//! * [`verify`] — the static safety certifier: symbolic value-range
+//!   analysis plus translation validation of every optimization decision.
 //!
 //! # Quickstart
 //!
@@ -47,3 +49,4 @@ pub use nascent_interp as interp;
 pub use nascent_ir as ir;
 pub use nascent_rangecheck as rangecheck;
 pub use nascent_suite as suite;
+pub use nascent_verify as verify;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/certify-26ed700c35e68ee6.d: crates/verify/tests/certify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcertify-26ed700c35e68ee6.rmeta: crates/verify/tests/certify.rs Cargo.toml
+
+crates/verify/tests/certify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certify-af044c681ea9b519.d: crates/verify/tests/certify.rs
+
+/root/repo/target/debug/deps/certify-af044c681ea9b519: crates/verify/tests/certify.rs
+
+crates/verify/tests/certify.rs:

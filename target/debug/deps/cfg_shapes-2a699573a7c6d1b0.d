@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cfg_shapes-2a699573a7c6d1b0.d: crates/analysis/tests/cfg_shapes.rs
+
+/root/repo/target/debug/deps/cfg_shapes-2a699573a7c6d1b0: crates/analysis/tests/cfg_shapes.rs
+
+crates/analysis/tests/cfg_shapes.rs:

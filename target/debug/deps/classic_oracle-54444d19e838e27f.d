@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classic_oracle-54444d19e838e27f.d: crates/classic/tests/classic_oracle.rs
+
+/root/repo/target/debug/deps/classic_oracle-54444d19e838e27f: crates/classic/tests/classic_oracle.rs
+
+crates/classic/tests/classic_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classic_oracle-ab2c463bcab55ecf.d: crates/classic/tests/classic_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassic_oracle-ab2c463bcab55ecf.rmeta: crates/classic/tests/classic_oracle.rs Cargo.toml
+
+crates/classic/tests/classic_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

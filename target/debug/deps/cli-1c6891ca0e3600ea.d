@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-1c6891ca0e3600ea.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-1c6891ca0e3600ea: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_nascentc=/root/repo/target/debug/nascentc

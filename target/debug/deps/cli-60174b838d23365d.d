@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-60174b838d23365d.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-60174b838d23365d: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_nascentc=/root/repo/target/debug/nascentc

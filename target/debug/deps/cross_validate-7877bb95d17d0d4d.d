@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validate-7877bb95d17d0d4d.d: crates/cback/tests/cross_validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validate-7877bb95d17d0d4d.rmeta: crates/cback/tests/cross_validate.rs Cargo.toml
+
+crates/cback/tests/cross_validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validate-d4adb0e8cf3fab39.d: crates/cback/tests/cross_validate.rs
+
+/root/repo/target/debug/deps/cross_validate-d4adb0e8cf3fab39: crates/cback/tests/cross_validate.rs
+
+crates/cback/tests/cross_validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c641526d542c7294.d: crates/interp/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c641526d542c7294: crates/interp/tests/determinism.rs
+
+crates/interp/tests/determinism.rs:

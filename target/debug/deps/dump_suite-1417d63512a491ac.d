@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_suite-1417d63512a491ac.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/debug/deps/dump_suite-1417d63512a491ac: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_suite-20228cc97656e56d.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/debug/deps/dump_suite-20228cc97656e56d: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

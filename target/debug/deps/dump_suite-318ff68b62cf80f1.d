@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_suite-318ff68b62cf80f1.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/debug/deps/dump_suite-318ff68b62cf80f1: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

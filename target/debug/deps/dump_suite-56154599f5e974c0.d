@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_suite-56154599f5e974c0.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/debug/deps/dump_suite-56154599f5e974c0: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a177f9d31439270f.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a177f9d31439270f: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-b2b574d622f6d837.d: crates/bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-b2b574d622f6d837.rmeta: crates/bench/src/bin/extensions.rs Cargo.toml
+
+crates/bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

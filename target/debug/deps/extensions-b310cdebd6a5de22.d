@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b310cdebd6a5de22.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b310cdebd6a5de22: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f08c312c7bb72026.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f08c312c7bb72026: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

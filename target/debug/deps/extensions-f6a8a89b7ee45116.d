@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f6a8a89b7ee45116.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f6a8a89b7ee45116: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-06a4f7632f569a69.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-06a4f7632f569a69: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0f77839e7411809e.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-0f77839e7411809e: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3867328e52260a92.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3867328e52260a92: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-50cae9f4ce1e7497.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-50cae9f4ce1e7497: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-5e4c8c04e050330a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-5e4c8c04e050330a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-bfb563adfd175b9f.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-bfb563adfd175b9f: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/goto-a5772122bfb2acef.d: crates/frontend/tests/goto.rs
+
+/root/repo/target/debug/deps/goto-a5772122bfb2acef: crates/frontend/tests/goto.rs
+
+crates/frontend/tests/goto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lcm_predicates-3011a89bdb72a2aa.d: crates/core/tests/lcm_predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblcm_predicates-3011a89bdb72a2aa.rmeta: crates/core/tests/lcm_predicates.rs Cargo.toml
+
+crates/core/tests/lcm_predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

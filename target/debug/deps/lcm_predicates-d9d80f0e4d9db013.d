@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lcm_predicates-d9d80f0e4d9db013.d: crates/core/tests/lcm_predicates.rs
+
+/root/repo/target/debug/deps/lcm_predicates-d9d80f0e4d9db013: crates/core/tests/lcm_predicates.rs
+
+crates/core/tests/lcm_predicates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linform_props-5d72c21dec1873ee.d: crates/ir/tests/linform_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinform_props-5d72c21dec1873ee.rmeta: crates/ir/tests/linform_props.rs Cargo.toml
+
+crates/ir/tests/linform_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

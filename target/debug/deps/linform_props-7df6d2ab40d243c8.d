@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linform_props-7df6d2ab40d243c8.d: crates/ir/tests/linform_props.rs
+
+/root/repo/target/debug/deps/linform_props-7df6d2ab40d243c8: crates/ir/tests/linform_props.rs
+
+crates/ir/tests/linform_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loop_control-55a57faa69543ed5.d: crates/frontend/tests/loop_control.rs
+
+/root/repo/target/debug/deps/loop_control-55a57faa69543ed5: crates/frontend/tests/loop_control.rs
+
+crates/frontend/tests/loop_control.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascent-2792de43cc4ec6ff.d: src/lib.rs
+
+/root/repo/target/debug/deps/nascent-2792de43cc4ec6ff: src/lib.rs
+
+src/lib.rs:

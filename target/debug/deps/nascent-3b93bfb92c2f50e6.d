@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascent-3b93bfb92c2f50e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/nascent-3b93bfb92c2f50e6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent-7daffa81c8e8365d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-7daffa81c8e8365d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-7daffa81c8e8365d.rmeta: src/lib.rs
+
+src/lib.rs:

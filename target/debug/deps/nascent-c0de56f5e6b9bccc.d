@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nascent-c0de56f5e6b9bccc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent-c0de56f5e6b9bccc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

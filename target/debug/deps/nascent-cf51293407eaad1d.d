@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent-cf51293407eaad1d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-cf51293407eaad1d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-cf51293407eaad1d.rmeta: src/lib.rs
+
+src/lib.rs:

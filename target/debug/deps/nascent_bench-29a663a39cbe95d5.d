@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascent_bench-29a663a39cbe95d5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nascent_bench-29a663a39cbe95d5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

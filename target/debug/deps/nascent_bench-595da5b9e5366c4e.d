@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_bench-595da5b9e5366c4e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-595da5b9e5366c4e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-595da5b9e5366c4e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascent_bench-745079c350921676.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nascent_bench-745079c350921676: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

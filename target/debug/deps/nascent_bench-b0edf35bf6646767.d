@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_bench-b0edf35bf6646767.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-b0edf35bf6646767.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-b0edf35bf6646767.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

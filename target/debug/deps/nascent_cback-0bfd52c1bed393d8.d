@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nascent_cback-0bfd52c1bed393d8.d: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+/root/repo/target/debug/deps/nascent_cback-0bfd52c1bed393d8: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+crates/cback/src/lib.rs:
+crates/cback/src/runner.rs:

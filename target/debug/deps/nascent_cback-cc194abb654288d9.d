@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nascent_cback-cc194abb654288d9.d: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+/root/repo/target/debug/deps/libnascent_cback-cc194abb654288d9.rlib: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+/root/repo/target/debug/deps/libnascent_cback-cc194abb654288d9.rmeta: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+crates/cback/src/lib.rs:
+crates/cback/src/runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nascent_classic-6cd37fe145064f4c.d: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+/root/repo/target/debug/deps/nascent_classic-6cd37fe145064f4c: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/cfg.rs:
+crates/classic/src/dce.rs:
+crates/classic/src/valueprop.rs:

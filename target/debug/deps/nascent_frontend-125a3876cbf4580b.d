@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nascent_frontend-125a3876cbf4580b.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_frontend-125a3876cbf4580b.rmeta: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs Cargo.toml
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/error.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

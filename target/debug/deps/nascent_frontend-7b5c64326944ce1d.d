@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nascent_frontend-7b5c64326944ce1d.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/debug/deps/libnascent_frontend-7b5c64326944ce1d.rlib: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/debug/deps/libnascent_frontend-7b5c64326944ce1d.rmeta: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/error.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:

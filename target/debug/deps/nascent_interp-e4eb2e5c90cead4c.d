@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nascent_interp-e4eb2e5c90cead4c.d: crates/interp/src/lib.rs crates/interp/src/machine.rs
+
+/root/repo/target/debug/deps/libnascent_interp-e4eb2e5c90cead4c.rlib: crates/interp/src/lib.rs crates/interp/src/machine.rs
+
+/root/repo/target/debug/deps/libnascent_interp-e4eb2e5c90cead4c.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nascent_interp-fe27f5b3d71a519e.d: crates/interp/src/lib.rs crates/interp/src/machine.rs
+
+/root/repo/target/debug/deps/nascent_interp-fe27f5b3d71a519e: crates/interp/src/lib.rs crates/interp/src/machine.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nascent_ir-e68fd65a5293065c.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/check.rs crates/ir/src/expr.rs crates/ir/src/linform.rs crates/ir/src/pretty.rs crates/ir/src/stmt.rs crates/ir/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_ir-e68fd65a5293065c.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/check.rs crates/ir/src/expr.rs crates/ir/src/linform.rs crates/ir/src/pretty.rs crates/ir/src/stmt.rs crates/ir/src/validate.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/check.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/linform.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/stmt.rs:
+crates/ir/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_suite-867c947b984dd07f.d: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+/root/repo/target/debug/deps/nascent_suite-867c947b984dd07f: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/generator.rs:
+crates/suite/src/programs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nascent_suite-a551627214ac3cfa.d: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_suite-a551627214ac3cfa.rmeta: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs Cargo.toml
+
+crates/suite/src/lib.rs:
+crates/suite/src/generator.rs:
+crates/suite/src/programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nascent_suite-e1d9ef4226448eb1.d: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+/root/repo/target/debug/deps/libnascent_suite-e1d9ef4226448eb1.rlib: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+/root/repo/target/debug/deps/libnascent_suite-e1d9ef4226448eb1.rmeta: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/generator.rs:
+crates/suite/src/programs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nascent_verify-47172bc3c50a9d70.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/libnascent_verify-47172bc3c50a9d70.rlib: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/libnascent_verify-47172bc3c50a9d70.rmeta: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_verify-63973897a43bf273.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/nascent_verify-63973897a43bf273: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascentc-2377854727deda1a.d: src/bin/nascentc.rs
+
+/root/repo/target/debug/deps/nascentc-2377854727deda1a: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascentc-9959bbffc045c311.d: src/bin/nascentc.rs
+
+/root/repo/target/debug/deps/nascentc-9959bbffc045c311: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

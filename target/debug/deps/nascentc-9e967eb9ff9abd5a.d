@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascentc-9e967eb9ff9abd5a.d: src/bin/nascentc.rs
+
+/root/repo/target/debug/deps/nascentc-9e967eb9ff9abd5a: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascentc-ea45ef2512b89fb8.d: src/bin/nascentc.rs
+
+/root/repo/target/debug/deps/nascentc-ea45ef2512b89fb8: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-032c887ee26d0a52.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-032c887ee26d0a52: tests/oracle.rs
+
+tests/oracle.rs:

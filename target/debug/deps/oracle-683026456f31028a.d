@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-683026456f31028a.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-683026456f31028a: tests/oracle.rs
+
+tests/oracle.rs:

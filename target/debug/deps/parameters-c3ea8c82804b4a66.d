@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parameters-c3ea8c82804b4a66.d: crates/frontend/tests/parameters.rs
+
+/root/repo/target/debug/deps/parameters-c3ea8c82804b4a66: crates/frontend/tests/parameters.rs
+
+crates/frontend/tests/parameters.rs:

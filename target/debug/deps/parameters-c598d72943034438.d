@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parameters-c598d72943034438.d: crates/frontend/tests/parameters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparameters-c598d72943034438.rmeta: crates/frontend/tests/parameters.rs Cargo.toml
+
+crates/frontend/tests/parameters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-39df83e45ec8419b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-39df83e45ec8419b: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-7bc2319a5cb7d52b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-7bc2319a5cb7d52b: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-0a028714e83a095a.d: crates/frontend/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-0a028714e83a095a: crates/frontend/tests/robustness.rs
+
+crates/frontend/tests/robustness.rs:

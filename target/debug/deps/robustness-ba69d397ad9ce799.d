@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-ba69d397ad9ce799.d: crates/frontend/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-ba69d397ad9ce799.rmeta: crates/frontend/tests/robustness.rs Cargo.toml
+
+crates/frontend/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_cost-4e0a767781d427ff.d: crates/bench/benches/scheme_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_cost-4e0a767781d427ff.rmeta: crates/bench/benches/scheme_cost.rs Cargo.toml
+
+crates/bench/benches/scheme_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch-2a3c160913b403cf.d: crates/verify/tests/scratch.rs
+
+/root/repo/target/debug/deps/scratch-2a3c160913b403cf: crates/verify/tests/scratch.rs
+
+crates/verify/tests/scratch.rs:

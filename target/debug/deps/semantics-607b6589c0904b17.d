@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-607b6589c0904b17.d: crates/interp/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-607b6589c0904b17: crates/interp/tests/semantics.rs
+
+crates/interp/tests/semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-06b04f58aab993b2.d: crates/core/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-06b04f58aab993b2: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-29469912a4638d47.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-29469912a4638d47: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

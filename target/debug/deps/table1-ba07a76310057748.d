@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ba07a76310057748.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ba07a76310057748: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

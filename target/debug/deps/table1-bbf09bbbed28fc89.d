@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bbf09bbbed28fc89.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-bbf09bbbed28fc89: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

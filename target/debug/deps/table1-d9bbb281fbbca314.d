@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d9bbb281fbbca314.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d9bbb281fbbca314: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2e7e60a0bade4074.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2e7e60a0bade4074: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

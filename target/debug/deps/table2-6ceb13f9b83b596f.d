@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-6ceb13f9b83b596f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-6ceb13f9b83b596f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8d10ab1138a71da0.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8d10ab1138a71da0: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ba1434da0944525a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ba1434da0944525a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-29c37b8b0c64ee20.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-29c37b8b0c64ee20: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

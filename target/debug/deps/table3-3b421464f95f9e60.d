@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3b421464f95f9e60.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3b421464f95f9e60: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

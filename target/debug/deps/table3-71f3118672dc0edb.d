@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-71f3118672dc0edb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-71f3118672dc0edb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-63ab0c63285a3d15.d: crates/interp/tests/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-63ab0c63285a3d15.rmeta: crates/interp/tests/trace.rs Cargo.toml
+
+crates/interp/tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

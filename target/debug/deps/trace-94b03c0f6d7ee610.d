@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-94b03c0f6d7ee610.d: crates/interp/tests/trace.rs
+
+/root/repo/target/debug/deps/trace-94b03c0f6d7ee610: crates/interp/tests/trace.rs
+
+crates/interp/tests/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trap_semantics-60aeade22dc18f5f.d: tests/trap_semantics.rs
+
+/root/repo/target/debug/deps/trap_semantics-60aeade22dc18f5f: tests/trap_semantics.rs
+
+tests/trap_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trap_semantics-f44ddd1ce3b4f8a2.d: tests/trap_semantics.rs
+
+/root/repo/target/debug/deps/trap_semantics-f44ddd1ce3b4f8a2: tests/trap_semantics.rs
+
+tests/trap_semantics.rs:

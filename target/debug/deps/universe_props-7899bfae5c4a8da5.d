@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/universe_props-7899bfae5c4a8da5.d: crates/core/tests/universe_props.rs
+
+/root/repo/target/debug/deps/universe_props-7899bfae5c4a8da5: crates/core/tests/universe_props.rs
+
+crates/core/tests/universe_props.rs:

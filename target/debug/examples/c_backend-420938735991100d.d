@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/c_backend-420938735991100d.d: examples/c_backend.rs
+
+/root/repo/target/debug/examples/c_backend-420938735991100d: examples/c_backend.rs
+
+examples/c_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/c_backend-a522d7061c4fe226.d: examples/c_backend.rs
+
+/root/repo/target/debug/examples/c_backend-a522d7061c4fe226: examples/c_backend.rs
+
+examples/c_backend.rs:

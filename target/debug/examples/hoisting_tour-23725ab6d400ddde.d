@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hoisting_tour-23725ab6d400ddde.d: examples/hoisting_tour.rs
+
+/root/repo/target/debug/examples/hoisting_tour-23725ab6d400ddde: examples/hoisting_tour.rs
+
+examples/hoisting_tour.rs:

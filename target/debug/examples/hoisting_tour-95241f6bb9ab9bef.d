@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hoisting_tour-95241f6bb9ab9bef.d: examples/hoisting_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhoisting_tour-95241f6bb9ab9bef.rmeta: examples/hoisting_tour.rs Cargo.toml
+
+examples/hoisting_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

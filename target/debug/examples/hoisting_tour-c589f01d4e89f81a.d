@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hoisting_tour-c589f01d4e89f81a.d: examples/hoisting_tour.rs
+
+/root/repo/target/debug/examples/hoisting_tour-c589f01d4e89f81a: examples/hoisting_tour.rs
+
+examples/hoisting_tour.rs:

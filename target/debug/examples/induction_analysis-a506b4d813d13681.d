@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/induction_analysis-a506b4d813d13681.d: examples/induction_analysis.rs
+
+/root/repo/target/debug/examples/induction_analysis-a506b4d813d13681: examples/induction_analysis.rs
+
+examples/induction_analysis.rs:

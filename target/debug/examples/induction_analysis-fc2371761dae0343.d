@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/induction_analysis-fc2371761dae0343.d: examples/induction_analysis.rs
+
+/root/repo/target/debug/examples/induction_analysis-fc2371761dae0343: examples/induction_analysis.rs
+
+examples/induction_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-045a21029c026584.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-045a21029c026584: examples/quickstart.rs
+
+examples/quickstart.rs:

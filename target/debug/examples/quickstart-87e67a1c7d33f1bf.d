@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-87e67a1c7d33f1bf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-87e67a1c7d33f1bf: examples/quickstart.rs
+
+examples/quickstart.rs:

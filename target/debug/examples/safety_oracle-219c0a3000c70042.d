@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/safety_oracle-219c0a3000c70042.d: examples/safety_oracle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsafety_oracle-219c0a3000c70042.rmeta: examples/safety_oracle.rs Cargo.toml
+
+examples/safety_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/safety_oracle-4cd3f02dfdea372d.d: examples/safety_oracle.rs
+
+/root/repo/target/debug/examples/safety_oracle-4cd3f02dfdea372d: examples/safety_oracle.rs
+
+examples/safety_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/safety_oracle-b911daffb9d53234.d: examples/safety_oracle.rs
+
+/root/repo/target/debug/examples/safety_oracle-b911daffb9d53234: examples/safety_oracle.rs
+
+examples/safety_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_comparison-16b4485c5bd93dd9.d: examples/scheme_comparison.rs
+
+/root/repo/target/debug/examples/scheme_comparison-16b4485c5bd93dd9: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_comparison-be83f18a32322a84.d: examples/scheme_comparison.rs
+
+/root/repo/target/debug/examples/scheme_comparison-be83f18a32322a84: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nascent-7922e5f0ef5740fc.d: src/lib.rs
+
+/root/repo/target/release/deps/libnascent-7922e5f0ef5740fc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnascent-7922e5f0ef5740fc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nascent_bench-79697fe22afa7526.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnascent_bench-79697fe22afa7526.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnascent_bench-79697fe22afa7526.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nascent_cback-ecdd595278c7bccd.d: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+/root/repo/target/release/deps/libnascent_cback-ecdd595278c7bccd.rlib: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+/root/repo/target/release/deps/libnascent_cback-ecdd595278c7bccd.rmeta: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+crates/cback/src/lib.rs:
+crates/cback/src/runner.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nascent_frontend-94f703e65e1c5891.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/release/deps/libnascent_frontend-94f703e65e1c5891.rlib: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/release/deps/libnascent_frontend-94f703e65e1c5891.rmeta: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/error.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nascent_suite-4027f887e3a4783f.d: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+/root/repo/target/release/deps/libnascent_suite-4027f887e3a4783f.rlib: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+/root/repo/target/release/deps/libnascent_suite-4027f887e3a4783f.rmeta: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/generator.rs:
+crates/suite/src/programs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nascent_verify-75303663c377a1bd.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/release/deps/libnascent_verify-75303663c377a1bd.rlib: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/release/deps/libnascent_verify-75303663c377a1bd.rmeta: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nascentc-6cd511bc9d10ac2d.d: src/bin/nascentc.rs
+
+/root/repo/target/release/deps/nascentc-6cd511bc9d10ac2d: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

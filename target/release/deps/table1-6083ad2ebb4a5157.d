@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-6083ad2ebb4a5157.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-6083ad2ebb4a5157: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d19694f63fa17c29.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d19694f63fa17c29: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

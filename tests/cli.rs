@@ -103,10 +103,7 @@ fn compare_lists_all_schemes() {
 
 #[test]
 fn trap_is_reported_on_stderr() {
-    let f = write_temp(
-        "trap.mf",
-        "program p\n integer a(1:5)\n a(9) = 1\nend\n",
-    );
+    let f = write_temp("trap.mf", "program p\n integer a(1:5)\n a(9) = 1\nend\n");
     let out = nascentc(&["run", &f, "--no-opt"]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("TRAP"));

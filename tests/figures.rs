@@ -98,7 +98,10 @@ end
         classes[&(l, VarId(3))],
         InductionClass::Invariant { value: Some(5) }
     );
-    assert_eq!(classes[&(l, VarId(5))], InductionClass::Polynomial { degree: 2 });
+    assert_eq!(
+        classes[&(l, VarId(5))],
+        InductionClass::Polynomial { degree: 2 }
+    );
 }
 
 /// Figure 5: safe-earliest placement increases the checks executed on the

@@ -9,12 +9,13 @@
 //!
 //! and on trap-free runs the observable output is identical and the
 //! dynamic check count never increases for the loop-based schemes.
+#![cfg(feature = "proptest-tests")]
+// Entire file is property-based; gated so `--no-default-features`
+// builds without the vendored proptest shim.
 
 use nascent::frontend::compile;
 use nascent::interp::{run, Limits, RunError, RunResult};
-use nascent::rangecheck::{
-    optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme,
-};
+use nascent::rangecheck::{optimize_program, CheckKind, ImplicationMode, OptimizeOptions, Scheme};
 use nascent::suite::{random_program, GenConfig};
 use proptest::prelude::*;
 

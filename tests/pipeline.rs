@@ -24,9 +24,8 @@ fn every_scheme_preserves_suite_behavior() {
                 let mut prog = compile(&b.source).unwrap();
                 optimize_program(&mut prog, &OptimizeOptions::scheme(scheme).with_kind(kind));
                 nascent::ir::validate::assert_valid(&prog);
-                let opt = run(&prog, &limits()).unwrap_or_else(|e| {
-                    panic!("{} under {scheme:?}/{kind:?}: {e}", b.name)
-                });
+                let opt = run(&prog, &limits())
+                    .unwrap_or_else(|e| panic!("{} under {scheme:?}/{kind:?}: {e}", b.name));
                 assert!(
                     opt.trap.is_none(),
                     "{} under {scheme:?}/{kind:?}: introduced trap",

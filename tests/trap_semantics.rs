@@ -218,8 +218,8 @@ fn tight_but_valid_ranges_do_not_trap() {
         for scheme in all_schemes() {
             let mut p = compile(src).unwrap();
             optimize_program(&mut p, &OptimizeOptions::scheme(scheme));
-            let opt = run(&p, &Limits::default())
-                .unwrap_or_else(|e| panic!("{scheme:?}: {e}\n{src}"));
+            let opt =
+                run(&p, &Limits::default()).unwrap_or_else(|e| panic!("{scheme:?}: {e}\n{src}"));
             assert!(
                 opt.trap.is_none(),
                 "{scheme:?} introduced a trap: {:?}\n{src}",

@@ -1,0 +1,149 @@
+//! Minimal, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The workspace builds in environments without registry access, so the
+//! bench entry points used by `crates/bench/benches/` are provided here:
+//! `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple best-of-N wall-clock timer printed to stdout — adequate for
+//! relative ordering, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark.
+const BATCHES: u32 = 5;
+/// Target wall-clock time per batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+
+/// Identifier combining a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("scheme", "LLS")` → `scheme/LLS`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the best observed time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size that fills BATCH_TARGET.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (BATCH_TARGET.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let mut best = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / per_batch as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        best_ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    let ns = b.best_ns_per_iter;
+    let pretty = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("{label:<40} time: {pretty}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain string label.
+    pub fn bench_function<F>(&mut self, label: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, label);
+        run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks `f` under `label`.
+    pub fn bench_function<F>(&mut self, label: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(label, f);
+        self
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

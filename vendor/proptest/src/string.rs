@@ -1,0 +1,211 @@
+//! Generation from the regex subset used as string strategies.
+//!
+//! Supported syntax: literal characters, escapes (`\n`, `\t`, `\\`,
+//! `\-`, …), the printable-character class `\PC`, character classes
+//! `[...]` with ranges and escapes, and the quantifiers `*`, `+`, `?`
+//! and `{m,n}` / `{n}`.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// Maximum repetitions for unbounded quantifiers (`*`, `+`).
+const STAR_MAX: usize = 24;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `\PC`: any printable character.
+    Printable,
+    /// `[...]`: inclusive character ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = rng.inner.gen_range(p.min..=p.max);
+        for _ in 0..n {
+            out.push(sample_atom(&p.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Printable => {
+            // Mostly ASCII printable, occasionally multibyte, to exercise
+            // lexers beyond the ASCII fast path.
+            if rng.inner.gen_range(0u32..16) == 0 {
+                const EXOTIC: [char; 6] = ['é', 'λ', '∀', '→', '日', '…'];
+                EXOTIC[rng.inner.gen_range(0..EXOTIC.len())]
+            } else {
+                char::from(rng.inner.gen_range(0x20u32..0x7F) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.inner.gen_range(0..ranges.len())];
+            let v = rng.inner.gen_range(lo as u32..=hi as u32);
+            char::from_u32(v).unwrap_or(lo)
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                if i + 1 < chars.len() && chars[i] == 'P' && chars[i + 1] == 'C' {
+                    i += 2;
+                    Atom::Printable
+                } else {
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut members: Vec<char> = Vec::new();
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    // `a-z` range: an unescaped `-` with something after it.
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        ranges.push((c, hi));
+                    } else {
+                        members.push(c);
+                    }
+                }
+                i += 1; // closing ']'
+                ranges.extend(members.into_iter().map(|c| (c, c)));
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    i += 1;
+                    (0, STAR_MAX)
+                }
+                '+' => {
+                    i += 1;
+                    (1, STAR_MAX)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '{' => {
+                    i += 1;
+                    let mut num = String::new();
+                    while chars[i].is_ascii_digit() {
+                        num.push(chars[i]);
+                        i += 1;
+                    }
+                    let m: usize = num.parse().expect("quantifier lower bound");
+                    let n = if chars[i] == ',' {
+                        i += 1;
+                        let mut num2 = String::new();
+                        while chars[i].is_ascii_digit() {
+                            num2.push(chars[i]);
+                            i += 1;
+                        }
+                        num2.parse().expect("quantifier upper bound")
+                    } else {
+                        m
+                    };
+                    assert_eq!(chars[i], '}', "unterminated quantifier in {pattern:?}");
+                    i += 1;
+                    (m, n)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_star() {
+        let mut rng = TestRng::for_test("printable_star");
+        for _ in 0..50 {
+            let s = generate("\\PC*", &mut rng);
+            assert!(s.chars().count() <= STAR_MAX);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_bounds() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..50 {
+            let s = generate("[a-z0-9 =+\\-*/(),:<>\n]{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || " =+-*/(),:<>\n".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = TestRng::for_test("exact");
+        assert_eq!(generate("ab{3}c", &mut rng), "abbbc");
+    }
+}
