@@ -17,6 +17,7 @@
 //!   (invariant / basic / linear / polynomial, Gerlek–Stoltz–Wolfe style),
 //!   reproducing the paper's Figure 2.
 
+pub mod context;
 pub mod dataflow;
 pub mod dom;
 pub mod induction;
@@ -24,9 +25,12 @@ pub mod loops;
 pub mod reach;
 pub mod ssa;
 
+pub use context::{
+    cfg_fingerprint, AnalysisStat, InductionClasses, Invalidation, PassContext, PassStat, Timings,
+};
 pub use dataflow::{solve, Direction, Problem, Solution};
 pub use dom::{Dominators, PostDominators};
 pub use induction::{classify_function, InductionAnalysis, InductionClass};
-pub use loops::{insert_preheaders, LoopForest, LoopId, LoopInfo, LoopIv};
+pub use loops::{insert_preheaders, insert_preheaders_with, LoopForest, LoopId, LoopInfo, LoopIv};
 pub use reach::{unique_defs, DefSite, UniqueDefs};
 pub use ssa::Ssa;

@@ -292,6 +292,13 @@ impl LoopForest {
 /// recompute any cached analyses).
 pub fn insert_preheaders(f: &mut Function) -> bool {
     let forest = LoopForest::compute(f);
+    insert_preheaders_with(f, &forest)
+}
+
+/// [`insert_preheaders`] with a caller-provided loop forest (which must
+/// describe the current `f`); avoids recomputing dominators when the
+/// caller already holds a fresh forest.
+pub fn insert_preheaders_with(f: &mut Function, forest: &LoopForest) -> bool {
     let mut changed = false;
     // collect (header, out-of-loop preds) first, then mutate
     let preds = f.predecessors();

@@ -1,0 +1,224 @@
+//! Cache lifecycle tests for [`PassContext`]: hits hand out shared
+//! results, declared invalidations drop exactly their tier, undeclared
+//! CFG mutations are caught by the fingerprint, and cached results always
+//! agree with from-scratch computation.
+
+use std::sync::Arc;
+
+use nascent_analysis::context::{Invalidation, PassContext};
+use nascent_analysis::dom::Dominators;
+use nascent_analysis::loops::{insert_preheaders, LoopForest};
+use nascent_analysis::reach::unique_defs;
+use nascent_frontend::compile;
+use nascent_ir::Function;
+use nascent_suite::{suite, Scale};
+
+const LOOP_SRC: &str = "program p
+ integer a(1:20)
+ integer i, j
+ do i = 1, 10
+  if (mod(i, 2) == 0) then
+   j = i + 1
+   a(j) = i
+  endif
+ enddo
+end
+";
+
+fn loopy() -> Function {
+    compile(LOOP_SRC).unwrap().functions.remove(0)
+}
+
+/// The frontend's structured lowering gives every loop a trampoline
+/// preheader; reroute the header's outside predecessors around it so the
+/// loop genuinely lacks one (the rerouted predecessor is a two-successor
+/// branch, which does not qualify).
+fn preheaderless() -> Function {
+    let mut f = compile(
+        "program p
+ integer a(1:20)
+ integer i, n
+ n = 10
+ i = 1
+ if (n > 5) then
+  while (i < 10)
+   a(i) = i
+   i = i + 1
+  endwhile
+ endif
+end
+",
+    )
+    .unwrap()
+    .functions
+    .remove(0);
+    let forest = LoopForest::compute(&f);
+    let l = &forest.loops[0];
+    let ph = l.preheader.expect("frontend emitted a preheader");
+    let header = l.header;
+    let preds = f.predecessors();
+    for &p in &preds[ph.index()] {
+        f.block_mut(p).term.retarget(ph, header);
+    }
+    let check = LoopForest::compute(&f);
+    assert!(
+        check.loops.iter().any(|l| l.preheader.is_none()),
+        "surgery produced a preheaderless loop"
+    );
+    f
+}
+
+#[test]
+fn repeated_queries_share_one_computation() {
+    let f = loopy();
+    let mut ctx = PassContext::new();
+    let d1 = ctx.dominators(&f);
+    let d2 = ctx.dominators(&f);
+    assert!(Arc::ptr_eq(&d1, &d2), "second query must be a cache hit");
+    let l1 = ctx.loop_forest(&f);
+    let l2 = ctx.loop_forest(&f);
+    assert!(Arc::ptr_eq(&l1, &l2));
+    let u1 = ctx.unique_defs(&f);
+    let u2 = ctx.unique_defs(&f);
+    assert!(Arc::ptr_eq(&u1, &u2));
+    let dom_stat = ctx.timings.analyses["dom"];
+    assert_eq!(dom_stat.computed, 1);
+    assert!(dom_stat.hits >= 1, "hits recorded: {dom_stat:?}");
+    // derived analyses reuse the cached inputs instead of recomputing
+    let i1 = ctx.induction(&f);
+    let i2 = ctx.induction(&f);
+    assert!(Arc::ptr_eq(&i1, &i2));
+    assert_eq!(ctx.timings.analyses["dom"].computed, 1);
+    assert_eq!(ctx.timings.analyses["ssa"].computed, 1);
+}
+
+#[test]
+fn statement_invalidation_keeps_cfg_tier_drops_statement_tier() {
+    let f = loopy();
+    let mut ctx = PassContext::new();
+    let d1 = ctx.dominators(&f);
+    let l1 = ctx.loop_forest(&f);
+    let u1 = ctx.unique_defs(&f);
+    let s1 = ctx.ssa(&f);
+    let g0 = ctx.generation();
+
+    ctx.invalidate(Invalidation::Statements);
+    assert_eq!(ctx.generation(), g0 + 1);
+    assert_eq!(ctx.timings.invalidations, 1);
+
+    let d2 = ctx.dominators(&f);
+    let l2 = ctx.loop_forest(&f);
+    assert!(Arc::ptr_eq(&d1, &d2), "dominators survive Statements tier");
+    assert!(
+        Arc::ptr_eq(&l1, &l2),
+        "loop forest survives Statements tier"
+    );
+    let u2 = ctx.unique_defs(&f);
+    let s2 = ctx.ssa(&f);
+    assert!(!Arc::ptr_eq(&u1, &u2), "unique defs must be recomputed");
+    assert!(!Arc::ptr_eq(&s1, &s2), "SSA must be recomputed");
+    assert_eq!(ctx.timings.analyses["unique-defs"].computed, 2);
+    // the recomputation over an unchanged function agrees with the original
+    assert_eq!(*u1, *u2);
+}
+
+#[test]
+fn cfg_invalidation_drops_everything() {
+    let f = loopy();
+    let mut ctx = PassContext::new();
+    let d1 = ctx.dominators(&f);
+    ctx.invalidate(Invalidation::Cfg);
+    let d2 = ctx.dominators(&f);
+    assert!(!Arc::ptr_eq(&d1, &d2), "dominators dropped by Cfg tier");
+    assert_eq!(ctx.timings.analyses["dom"].computed, 2);
+    assert_eq!(ctx.timings.stale_detections, 0, "declared, not stale");
+}
+
+#[test]
+fn ensure_preheaders_refreshes_dominators_and_loops() {
+    let mut f = preheaderless();
+    let mut ctx = PassContext::new();
+    let d1 = ctx.dominators(&f);
+    let l1 = ctx.loop_forest(&f);
+    assert!(
+        l1.loops.iter().any(|l| l.preheader.is_none()),
+        "test needs a loop without a preheader"
+    );
+    let g0 = ctx.generation();
+    assert!(ctx.ensure_preheaders(&mut f), "preheaders were inserted");
+    assert!(ctx.generation() > g0);
+
+    let d2 = ctx.dominators(&f);
+    let l2 = ctx.loop_forest(&f);
+    assert!(!Arc::ptr_eq(&d1, &d2), "dominators recomputed for new CFG");
+    assert!(!Arc::ptr_eq(&l1, &l2), "loop forest recomputed for new CFG");
+    assert!(
+        l2.loops.iter().all(|l| l.preheader.is_some()),
+        "refreshed forest sees every preheader"
+    );
+    // a CFG-tier invalidation was declared, so no stale detection fired
+    assert_eq!(ctx.timings.stale_detections, 0);
+    // second call is a no-op fast path
+    assert!(!ctx.ensure_preheaders(&mut f));
+}
+
+#[test]
+fn undeclared_cfg_mutation_is_detected_as_stale() {
+    let mut f = preheaderless();
+    let mut ctx = PassContext::new();
+    let d1 = ctx.dominators(&f);
+    let g0 = ctx.generation();
+
+    // mutate the CFG behind the context's back (no invalidate() call)
+    let changed = insert_preheaders(&mut f);
+    assert!(changed, "mutation changed the CFG");
+
+    let d2 = ctx.dominators(&f);
+    assert!(
+        !Arc::ptr_eq(&d1, &d2),
+        "stale dominators must not be served"
+    );
+    assert_eq!(ctx.timings.stale_detections, 1);
+    assert!(ctx.generation() > g0, "stale reset bumps the generation");
+
+    // after the reset the cache serves the fresh result normally
+    let d3 = ctx.dominators(&f);
+    assert!(Arc::ptr_eq(&d2, &d3));
+    assert_eq!(ctx.timings.stale_detections, 1);
+}
+
+#[test]
+fn cached_analyses_agree_with_from_scratch_on_the_suite() {
+    for b in suite(Scale::Small) {
+        let p = compile(&b.source).expect("benchmark compiles");
+        for f in &p.functions {
+            let mut ctx = PassContext::new();
+            // interleave queries so later ones run against a warm cache
+            let dom_c = ctx.dominators(f);
+            let loops_c = ctx.loop_forest(f);
+            let udefs_c = ctx.unique_defs(f);
+            let dom_c2 = ctx.dominators(f);
+            assert!(Arc::ptr_eq(&dom_c, &dom_c2));
+
+            let dom_s = Dominators::compute(f);
+            for a in f.block_ids() {
+                for b2 in f.block_ids() {
+                    assert_eq!(
+                        dom_c.dominates(a, b2),
+                        dom_s.dominates(a, b2),
+                        "{}: dominators disagree on ({a:?}, {b2:?})",
+                        b.name
+                    );
+                }
+            }
+            let loops_s = LoopForest::compute(f);
+            assert_eq!(loops_c.loops.len(), loops_s.loops.len(), "{}", b.name);
+            for (lc, ls) in loops_c.loops.iter().zip(&loops_s.loops) {
+                assert_eq!(lc.header, ls.header, "{}", b.name);
+                assert_eq!(lc.blocks, ls.blocks, "{}", b.name);
+                assert_eq!(lc.depth, ls.depth, "{}", b.name);
+            }
+            assert_eq!(*udefs_c, unique_defs(f), "{}", b.name);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion bench of the pass-manager's analysis cache: the cost of the
+//! full analysis bundle (dominators, post-dominators, loop forest, SSA,
+//! unique defs, induction classes) queried through a shared
+//! [`PassContext`] versus recomputed from scratch on every query — the
+//! cached/uncached gap the `--timings` hit counters summarize.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nascent_analysis::context::PassContext;
+use nascent_analysis::dom::{Dominators, PostDominators};
+use nascent_analysis::induction::classify_function;
+use nascent_analysis::loops::LoopForest;
+use nascent_analysis::reach::unique_defs;
+use nascent_analysis::ssa::Ssa;
+use nascent_frontend::compile;
+use nascent_suite::{suite, Scale};
+
+/// The query pattern of one optimizer phase: dominators + loop forest +
+/// unique defs, then SSA + induction for the INX rewrite.
+const QUERIES_PER_RUN: usize = 5;
+
+fn bench_uncached(c: &mut Criterion) {
+    let funcs: Vec<_> = suite(Scale::Small)
+        .iter()
+        .flat_map(|b| compile(&b.source).expect("compiles").functions)
+        .collect();
+    c.bench_function("analysis_bundle_uncached", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for f in &funcs {
+                // each "phase" recomputes everything, as the pre-refactor
+                // passes did
+                for _ in 0..QUERIES_PER_RUN {
+                    let dom = Dominators::compute(f);
+                    let pdom = PostDominators::compute(f);
+                    let forest = LoopForest::compute_with(f, &dom);
+                    let ssa = Ssa::compute(f, &dom);
+                    let udefs = unique_defs(f);
+                    let classes = classify_function(f, &ssa, &forest);
+                    total += usize::from(pdom.ipdom(f.entry).is_some())
+                        + forest.loops.len()
+                        + udefs.len()
+                        + classes.len();
+                }
+            }
+            total
+        });
+    });
+}
+
+fn bench_cached(c: &mut Criterion) {
+    let funcs: Vec<_> = suite(Scale::Small)
+        .iter()
+        .flat_map(|b| compile(&b.source).expect("compiles").functions)
+        .collect();
+    c.bench_function("analysis_bundle_cached", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for f in &funcs {
+                let mut ctx = PassContext::new();
+                for _ in 0..QUERIES_PER_RUN {
+                    let pdom = ctx.post_dominators(f);
+                    let forest = ctx.loop_forest(f);
+                    let udefs = ctx.unique_defs(f);
+                    let classes = ctx.induction(f);
+                    total += usize::from(pdom.ipdom(f.entry).is_some())
+                        + forest.loops.len()
+                        + udefs.len()
+                        + classes.len();
+                }
+            }
+            total
+        });
+    });
+}
+
+criterion_group!(benches, bench_uncached, bench_cached);
+criterion_main!(benches);

@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use nascent_bench::{evaluate, format_table, naive_run};
+use nascent_bench::{evaluate_prepared, format_table, prepare};
 use nascent_frontend::compile;
 use nascent_rangecheck::{optimize_program, CheckKind, OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
@@ -30,7 +30,7 @@ fn main() {
         Scale::Paper
     };
     let benches = suite(scale);
-    let naives: Vec<_> = benches.iter().map(naive_run).collect();
+    let prepared: Vec<_> = benches.iter().map(prepare).collect();
 
     // --- experiment 1: MCM vs LI vs LLS --------------------------------
     let mut headers: Vec<String> = vec!["scheme".into()];
@@ -40,8 +40,8 @@ fn main() {
     for scheme in [Scheme::Mcm, Scheme::Li, Scheme::Lls] {
         let mut row = vec![scheme.name().to_string()];
         let mut sum = 0.0;
-        for (b, naive) in benches.iter().zip(&naives) {
-            let r = evaluate(b, naive, &OptimizeOptions::scheme(scheme));
+        for pb in &prepared {
+            let r = evaluate_prepared(pb, &OptimizeOptions::scheme(scheme));
             sum += r.percent_eliminated;
             row.push(format!("{:.2}", r.percent_eliminated));
         }
@@ -56,10 +56,10 @@ fn main() {
     let mut rows = Vec::new();
     for scheme in [Scheme::Li, Scheme::Lls, Scheme::All] {
         let mut row = vec![scheme.name().to_string()];
-        for (b, naive) in benches.iter().zip(&naives) {
-            let r = evaluate(b, naive, &OptimizeOptions::scheme(scheme));
+        for pb in &prepared {
+            let r = evaluate_prepared(pb, &OptimizeOptions::scheme(scheme));
             let guards_pct =
-                100.0 * r.dynamic_guard_ops as f64 / naive.dynamic_checks.max(1) as f64;
+                100.0 * r.dynamic_guard_ops as f64 / pb.naive.dynamic_checks.max(1) as f64;
             row.push(format!("{:.2}", guards_pct));
         }
         row.push(String::new());
@@ -75,11 +75,10 @@ fn main() {
     let mut row_prx = vec!["NI-PRX".to_string()];
     let mut row_inx = vec!["NI-INX".to_string()];
     let mut row_gain = vec!["gain".to_string()];
-    for (b, naive) in benches.iter().zip(&naives) {
-        let prx = evaluate(b, naive, &OptimizeOptions::scheme(Scheme::Ni));
-        let inx = evaluate(
-            b,
-            naive,
+    for pb in &prepared {
+        let prx = evaluate_prepared(pb, &OptimizeOptions::scheme(Scheme::Ni));
+        let inx = evaluate_prepared(
+            pb,
             &OptimizeOptions::scheme(Scheme::Ni).with_kind(CheckKind::Inx),
         );
         row_prx.push(format!("{:.2}", prx.percent_eliminated));

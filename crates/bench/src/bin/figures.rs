@@ -3,10 +3,7 @@
 //!
 //! Run with `cargo run -p nascent-bench --bin figures [-- fig1|fig2|...]`.
 
-use nascent_analysis::dom::Dominators;
-use nascent_analysis::induction::classify_function;
-use nascent_analysis::loops::LoopForest;
-use nascent_analysis::ssa::Ssa;
+use nascent_analysis::context::PassContext;
 use nascent_frontend::compile;
 use nascent_ir::pretty::DisplayFunction;
 use nascent_rangecheck::{
@@ -91,14 +88,12 @@ end
 ";
     let p = compile(src).unwrap();
     let f = &p.functions[0];
-    let dom = Dominators::compute(f);
-    let ssa = Ssa::compute(f, &dom);
-    let forest = LoopForest::compute(f);
-    let classes = classify_function(f, &ssa, &forest);
+    let mut ctx = PassContext::new();
+    let classes = ctx.induction(f);
     println!("{src}");
     println!("classification at the loop header (h = basic loop variable):");
     let mut rows: Vec<(String, String)> = Vec::new();
-    for ((_, var), class) in &classes {
+    for ((_, var), class) in classes.iter() {
         let name = &f.vars[var.index()].name;
         if name.starts_with('%') {
             continue;

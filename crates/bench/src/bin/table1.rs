@@ -7,9 +7,11 @@
 //! without any optimization.
 //!
 //! Run with `cargo run --release -p nascent-bench --bin table1`.
-//! Pass `--small` for the test-scale suite.
+//! Pass `--small` for the test-scale suite. Each benchmark is compiled
+//! and its naive baseline run once ([`nascent_bench::prepare`]); the
+//! measurement and certification both reuse that baseline.
 
-use nascent_bench::{certify_benchmark, format_table, measure_program};
+use nascent_bench::{certify_prepared, format_table, measure_prepared, prepare};
 use nascent_rangecheck::{OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
 
@@ -39,7 +41,8 @@ fn main() {
     let mut min_ratio = f64::MAX;
     let mut max_ratio: f64 = 0.0;
     for b in suite(scale) {
-        let m = measure_program(&b);
+        let pb = prepare(&b);
+        let m = measure_prepared(&pb);
         min_ratio = min_ratio.min(m.dynamic_ratio());
         max_ratio = max_ratio.max(m.dynamic_ratio());
         rows.push(vec![
@@ -53,7 +56,7 @@ fn main() {
             m.dynamic_checks.to_string(),
             format!("{:.0}", m.static_ratio()),
             format!("{:.0}", m.dynamic_ratio()),
-            certify_benchmark(&b, &OptimizeOptions::scheme(Scheme::Ni))
+            certify_prepared(&pb, &OptimizeOptions::scheme(Scheme::Ni))
                 .vra_discharged
                 .to_string(),
         ]);

@@ -4,22 +4,52 @@
 //! total compile time ("Nascent") over the whole suite.
 //!
 //! Run with `cargo run --release -p nascent-bench --bin table2`.
-//! Pass `--small` for the test-scale suite.
+//!
+//! * `--small` — the test-scale suite,
+//! * `--timings` — per-analysis/per-pass wall-time decomposition plus
+//!   the parallel-harness accounting (stable `timings-format 1` block),
+//! * `--certify` — re-validate the **full** scheme × kind ×
+//!   implication-mode matrix with the static certifier.
+//!
+//! Each benchmark is compiled and its naive baseline run exactly once;
+//! the configuration × program matrix is then fanned out across worker
+//! threads ([`nascent_bench::run_matrix`]).
 
 use std::time::Duration;
 
-use nascent_bench::{certify_benchmark, evaluate, format_table, naive_run, table2_configs};
+use nascent_bench::{
+    certify_prepared, format_table, full_matrix_configs, prepare, run_matrix, table2_configs,
+    Config,
+};
 use nascent_rangecheck::{CheckKind, OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--small") {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--small") {
         Scale::Small
     } else {
         Scale::Paper
     };
+    let timings = args.iter().any(|a| a == "--timings");
+    let certify = args.iter().any(|a| a == "--certify");
     let benches = suite(scale);
-    let naives: Vec<_> = benches.iter().map(naive_run).collect();
+    let prepared: Vec<_> = benches.iter().map(prepare).collect();
+
+    // one flattened kind × scheme configuration list; row order matches
+    // the old serial nested loop
+    let mut kind_labels: Vec<&'static str> = Vec::new();
+    let mut configs: Vec<Config> = Vec::new();
+    for kind in [CheckKind::Prx, CheckKind::Inx] {
+        for cfg in table2_configs(kind) {
+            kind_labels.push(match kind {
+                CheckKind::Prx => "PRX",
+                CheckKind::Inx => "INX",
+            });
+            configs.push(cfg);
+        }
+    }
+    let report = run_matrix(&prepared, &configs, false);
 
     let mut headers: Vec<String> = vec!["".into(), "scheme".into()];
     headers.extend(benches.iter().map(|b| b.name.to_string()));
@@ -27,25 +57,19 @@ fn main() {
     headers.push("Nascent(ms)".into());
 
     let mut rows = Vec::new();
-    for kind in [CheckKind::Prx, CheckKind::Inx] {
-        let kind_label = match kind {
-            CheckKind::Prx => "PRX",
-            CheckKind::Inx => "INX",
-        };
-        for cfg in table2_configs(kind) {
-            let mut row = vec![kind_label.to_string(), cfg.label.to_string()];
-            let mut range = Duration::ZERO;
-            let mut total = Duration::ZERO;
-            for (b, naive) in benches.iter().zip(&naives) {
-                let r = evaluate(b, naive, &cfg.opts);
-                range += r.optimize_time;
-                total += r.total_time;
-                row.push(format!("{:.2}", r.percent_eliminated));
-            }
-            row.push(format!("{:.1}", range.as_secs_f64() * 1e3));
-            row.push(format!("{:.1}", total.as_secs_f64() * 1e3));
-            rows.push(row);
+    for (ci, cfg) in configs.iter().enumerate() {
+        let mut row = vec![kind_labels[ci].to_string(), cfg.label.to_string()];
+        let mut range = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for bi in 0..prepared.len() {
+            let r = &report.cell(ci, bi).result;
+            range += r.optimize_time;
+            total += r.total_time;
+            row.push(format!("{:.2}", r.percent_eliminated));
         }
+        row.push(format!("{:.1}", range.as_secs_f64() * 1e3));
+        row.push(format!("{:.1}", total.as_secs_f64() * 1e3));
+        rows.push(row);
     }
     println!(
         "Table 2: percentage of dynamic checks eliminated by optimizations\nand time required for compilation (all {} programs)\n",
@@ -56,6 +80,39 @@ fn main() {
     println!("SE = safe-earliest, LI = preheader (invariant), LLS = preheader with");
     println!("loop-limit substitution, ALL = LLS followed by SE.");
 
+    if timings {
+        println!("\nPer-pass timing decomposition (all cells, merged):\n");
+        print!("{}", report.timings_report());
+    }
+
+    if certify {
+        let full = full_matrix_configs();
+        let cert_report = run_matrix(&prepared, &full, true);
+        let mut obligations = 0usize;
+        let mut failed = 0usize;
+        for cell in &cert_report.cells {
+            let cert = cell.certificate.as_ref().expect("certified cell");
+            obligations += cert.obligations;
+            failed += cert.diagnostics.len();
+        }
+        println!(
+            "\nFull-matrix certification: {} configs x {} programs = {} cells, {} obligations, {} uncovered",
+            full.len(),
+            prepared.len(),
+            cert_report.cells.len(),
+            obligations,
+            failed
+        );
+        assert_eq!(failed, 0, "uncovered obligations in the full matrix");
+        if timings {
+            println!(
+                "certification harness threads={} wall_ms={:.1}",
+                cert_report.threads,
+                cert_report.wall_time.as_secs_f64() * 1e3
+            );
+        }
+    }
+
     // Extension over the paper: the certifier's value-range analysis
     // proves a fraction of the static checks always-true before any
     // placement runs; every table row above was also re-validated here.
@@ -64,13 +121,11 @@ fn main() {
         .map(ToString::to_string)
         .collect();
     let mut cert_rows = Vec::new();
-    for b in &benches {
-        let cert = certify_benchmark(b, &OptimizeOptions::scheme(Scheme::Ni));
-        let total = nascent_frontend::compile(&b.source)
-            .expect("benchmark compiles")
-            .check_count();
+    for pb in &prepared {
+        let cert = certify_prepared(pb, &OptimizeOptions::scheme(Scheme::Ni));
+        let total = pb.checked.check_count();
         cert_rows.push(vec![
-            b.name.to_string(),
+            pb.bench.name.to_string(),
             total.to_string(),
             cert.vra_discharged.to_string(),
             format!(

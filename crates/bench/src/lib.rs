@@ -11,15 +11,25 @@
 //! Every optimized run is validated against the naive run (same output,
 //! same trap verdict, never a later trap), so the tables double as an
 //! end-to-end soundness check.
+//!
+//! The tables are produced by [`run_matrix`], which fans the
+//! program × configuration grid out across worker threads. Each cell
+//! gets its own per-function [`PassContext`]s inside the optimizer, the
+//! naive baseline run and compiled program are prepared **once** per
+//! benchmark (see [`prepare`]), and per-analysis/per-pass wall times are
+//! merged into one [`Timings`] for the `--timings` report.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use nascent_analysis::loops::LoopForest;
+use nascent_analysis::context::PassContext;
 use nascent_frontend::{compile, compile_with, CheckInsertion};
 use nascent_interp::{run, Limits, RunResult};
 use nascent_ir::{Program, Stmt};
 use nascent_rangecheck::{
-    optimize_program, optimize_program_logged, CheckKind, ImplicationMode, OptimizeOptions, Scheme,
+    optimize_program_logged, optimize_program_timed, CheckKind, ImplicationMode, OptimizeOptions,
+    Scheme, Timings,
 };
 use nascent_suite::Benchmark;
 use nascent_verify::{certify_program, Certificate};
@@ -83,8 +93,76 @@ pub fn static_instruction_count(p: &Program) -> u64 {
 pub fn loop_count(p: &Program) -> usize {
     p.functions
         .iter()
-        .map(|f| LoopForest::compute(f).loops.len())
+        .map(|f| {
+            let mut ctx = PassContext::new();
+            ctx.loop_forest(f).loops.len()
+        })
         .sum()
+}
+
+/// One benchmark with everything that is shared across every cell of the
+/// configuration matrix: the compiled (naive, checked) program, its run,
+/// and its loop count. Computing these once per benchmark — instead of
+/// once per scheme × kind × mode cell — is what makes the matrix cheap.
+#[derive(Debug)]
+pub struct PreparedBenchmark {
+    /// The source benchmark.
+    pub bench: Benchmark,
+    /// Naive compile (checks inserted, nothing optimized).
+    pub checked: Program,
+    /// Wall time of that compile (charged to every cell's `total_time`,
+    /// mirroring what a per-cell recompile used to cost).
+    pub compile_time: Duration,
+    /// The naive run: the output/trap/dynamic-check baseline every
+    /// optimized configuration is validated against.
+    pub naive: RunResult,
+    /// Natural loops across all units.
+    pub loops: usize,
+}
+
+/// Compiles and runs a benchmark once, capturing the shared baseline.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to compile or run — the suite is
+/// expected to be trap-free.
+pub fn prepare(b: &Benchmark) -> PreparedBenchmark {
+    let t0 = Instant::now();
+    let checked = compile(&b.source).expect("benchmark compiles");
+    let compile_time = t0.elapsed();
+    let naive = run(&checked, &harness_limits()).expect("benchmark runs");
+    assert!(naive.trap.is_none(), "{} trapped", b.name);
+    let loops = loop_count(&checked);
+    PreparedBenchmark {
+        bench: b.clone(),
+        checked,
+        compile_time,
+        naive,
+        loops,
+    }
+}
+
+/// Measures one benchmark's Table 1 row from its prepared baseline
+/// (adds the one unchecked compile + run that only Table 1 needs).
+pub fn measure_prepared(pb: &PreparedBenchmark) -> ProgramMetrics {
+    let unchecked =
+        compile_with(&pb.bench.source, CheckInsertion::None).expect("benchmark compiles");
+    let ru = run(&unchecked, &harness_limits()).expect("benchmark runs");
+    ProgramMetrics {
+        name: pb.bench.name,
+        lines: pb
+            .bench
+            .source
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count(),
+        subroutines: pb.checked.functions.len(),
+        loops: pb.loops,
+        static_instructions: static_instruction_count(&unchecked),
+        dynamic_instructions: ru.dynamic_instructions,
+        static_checks: pb.checked.check_count() as u64,
+        dynamic_checks: pb.naive.dynamic_checks,
+    }
 }
 
 /// Measures one benchmark's Table 1 row.
@@ -94,22 +172,7 @@ pub fn loop_count(p: &Program) -> usize {
 /// Panics if the benchmark fails to compile or run — the suite is
 /// expected to be trap-free.
 pub fn measure_program(b: &Benchmark) -> ProgramMetrics {
-    let unchecked = compile_with(&b.source, CheckInsertion::None).expect("benchmark compiles");
-    let checked = compile(&b.source).expect("benchmark compiles");
-    let limits = harness_limits();
-    let ru = run(&unchecked, &limits).expect("benchmark runs");
-    let rc = run(&checked, &limits).expect("benchmark runs");
-    assert!(rc.trap.is_none(), "{} trapped", b.name);
-    ProgramMetrics {
-        name: b.name,
-        lines: b.source.lines().filter(|l| !l.trim().is_empty()).count(),
-        subroutines: checked.functions.len(),
-        loops: loop_count(&checked),
-        static_instructions: static_instruction_count(&unchecked),
-        dynamic_instructions: ru.dynamic_instructions,
-        static_checks: checked.check_count() as u64,
-        dynamic_checks: rc.dynamic_checks,
-    }
+    measure_prepared(&prepare(b))
 }
 
 /// Result of optimizing and running one benchmark under one configuration.
@@ -125,6 +188,45 @@ pub struct SchemeResult {
     pub optimize_time: Duration,
     /// Total compile + optimize time.
     pub total_time: Duration,
+    /// Per-analysis and per-pass wall times from the optimizer's
+    /// [`PassContext`]s.
+    pub timings: Timings,
+}
+
+fn evaluate_compiled(
+    name: &str,
+    checked: &Program,
+    compile_time: Duration,
+    naive: &RunResult,
+    opts: &OptimizeOptions,
+) -> SchemeResult {
+    let limits = harness_limits();
+    let mut prog = checked.clone();
+    let t1 = Instant::now();
+    let (_, timings) = optimize_program_timed(&mut prog, opts);
+    let optimize_time = t1.elapsed();
+    let total_time = compile_time + optimize_time;
+    let r = run(&prog, &limits).unwrap_or_else(|e| {
+        panic!("{name} under {opts:?}: {e}");
+    });
+    assert!(
+        r.trap.is_none(),
+        "{name} under {opts:?}: optimizer introduced trap {:?}",
+        r.trap
+    );
+    assert_eq!(
+        r.output, naive.output,
+        "{name} under {opts:?}: output changed"
+    );
+    let pct = 100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);
+    SchemeResult {
+        percent_eliminated: pct,
+        dynamic_checks: r.dynamic_checks,
+        dynamic_guard_ops: r.dynamic_guard_ops,
+        optimize_time,
+        total_time,
+        timings,
+    }
 }
 
 /// Optimizes a benchmark under `opts`, runs it, validates it against the
@@ -136,36 +238,16 @@ pub struct SchemeResult {
 /// introduced, later trap, undetected violation) — optimizer bugs must
 /// not produce table rows.
 pub fn evaluate(b: &Benchmark, naive: &RunResult, opts: &OptimizeOptions) -> SchemeResult {
-    let limits = harness_limits();
     let t0 = Instant::now();
-    let mut prog = compile(&b.source).expect("benchmark compiles");
-    let t1 = Instant::now();
-    optimize_program(&mut prog, opts);
-    let optimize_time = t1.elapsed();
-    let total_time = t0.elapsed();
-    let r = run(&prog, &limits).unwrap_or_else(|e| {
-        panic!("{} under {:?}: {e}", b.name, opts);
-    });
-    assert!(
-        r.trap.is_none(),
-        "{} under {:?}: optimizer introduced trap {:?}",
-        b.name,
-        opts,
-        r.trap
-    );
-    assert_eq!(
-        r.output, naive.output,
-        "{} under {:?}: output changed",
-        b.name, opts
-    );
-    let pct = 100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);
-    SchemeResult {
-        percent_eliminated: pct,
-        dynamic_checks: r.dynamic_checks,
-        dynamic_guard_ops: r.dynamic_guard_ops,
-        optimize_time,
-        total_time,
-    }
+    let prog = compile(&b.source).expect("benchmark compiles");
+    let compile_time = t0.elapsed();
+    evaluate_compiled(b.name, &prog, compile_time, naive, opts)
+}
+
+/// [`evaluate`] against a prepared baseline: reuses the compiled program
+/// and the naive run instead of recompiling and re-running per cell.
+pub fn evaluate_prepared(pb: &PreparedBenchmark, opts: &OptimizeOptions) -> SchemeResult {
+    evaluate_compiled(pb.bench.name, &pb.checked, pb.compile_time, &pb.naive, opts)
 }
 
 /// Optimizes a benchmark with the justification log enabled and
@@ -180,14 +262,21 @@ pub fn evaluate(b: &Benchmark, naive: &RunResult, opts: &OptimizeOptions) -> Sch
 /// from uncertified optimizations.
 pub fn certify_benchmark(b: &Benchmark, opts: &OptimizeOptions) -> Certificate {
     let naive = compile(&b.source).expect("benchmark compiles");
+    certify_compiled(b.name, &naive, opts)
+}
+
+/// [`certify_benchmark`] against a prepared baseline (no recompile).
+pub fn certify_prepared(pb: &PreparedBenchmark, opts: &OptimizeOptions) -> Certificate {
+    certify_compiled(pb.bench.name, &pb.checked, opts)
+}
+
+fn certify_compiled(name: &str, naive: &Program, opts: &OptimizeOptions) -> Certificate {
     let mut prog = naive.clone();
     let (_, logs) = optimize_program_logged(&mut prog, opts);
-    let cert = certify_program(&naive, &prog, &logs, opts);
+    let cert = certify_program(naive, &prog, &logs, opts);
     assert!(
         cert.ok(),
-        "{} under {:?} rejected by the certifier:\n{}",
-        b.name,
-        opts,
+        "{name} under {opts:?} rejected by the certifier:\n{}",
         cert.diagnostics
             .iter()
             .map(|d| d.to_string())
@@ -259,6 +348,174 @@ pub fn table3_configs(kind: CheckKind) -> Vec<Config> {
     ]
 }
 
+/// Every scheme × check-kind × implication-mode configuration — the full
+/// certification matrix (`table2 --certify`).
+pub fn full_matrix_configs() -> Vec<Config> {
+    let mut configs = Vec::new();
+    for kind in [CheckKind::Prx, CheckKind::Inx] {
+        for scheme in Scheme::EACH {
+            for mode in [
+                ImplicationMode::All,
+                ImplicationMode::CrossFamilyOnly,
+                ImplicationMode::None,
+            ] {
+                configs.push(Config {
+                    label: scheme.name(),
+                    opts: OptimizeOptions::scheme(scheme)
+                        .with_kind(kind)
+                        .with_implications(mode),
+                });
+            }
+        }
+    }
+    configs
+}
+
+/// One completed cell of the configuration × benchmark matrix.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Index into the `configs` slice passed to [`run_matrix`].
+    pub config_index: usize,
+    /// Index into the `prepared` slice passed to [`run_matrix`].
+    pub bench_index: usize,
+    /// Evaluation result (always produced).
+    pub result: SchemeResult,
+    /// Certifier verdict, when certification was requested.
+    pub certificate: Option<Certificate>,
+    /// Wall-clock time this cell took on its worker (optimize + run +
+    /// validate + optional certification).
+    pub wall: Duration,
+}
+
+/// The whole matrix plus the parallel-execution accounting for the
+/// `--timings` report.
+#[derive(Debug)]
+pub struct MatrixReport {
+    /// All cells, sorted by `(config_index, bench_index)` — identical
+    /// order to a serial nested loop, whatever the thread interleaving.
+    pub cells: Vec<MatrixCell>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the parallel run.
+    pub wall_time: Duration,
+    /// Serial estimate: the sum of every cell's wall time plus one
+    /// benchmark recompile per cell — what a one-cell-at-a-time loop
+    /// that recompiles the program for every configuration (the old
+    /// harness) pays for the same matrix.
+    pub serial_time: Duration,
+    /// Per-analysis/per-pass counters merged across every cell.
+    pub timings: Timings,
+}
+
+impl MatrixReport {
+    /// Serial-estimate / wall-clock speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.serial_time.as_secs_f64() / self.wall_time.as_secs_f64().max(1e-9)
+    }
+
+    /// The cell for `(config_index, bench_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is out of range.
+    pub fn cell(&self, config_index: usize, bench_index: usize) -> &MatrixCell {
+        self.cells
+            .iter()
+            .find(|c| c.config_index == config_index && c.bench_index == bench_index)
+            .expect("cell exists")
+    }
+
+    /// Stable machine-readable `--timings` block: the merged
+    /// [`Timings::report`] followed by one `harness` line.
+    pub fn timings_report(&self) -> String {
+        format!(
+            "{}harness threads={} wall_ms={:.1} serial_ms={:.1} speedup={:.2}\n",
+            self.timings.report(),
+            self.threads,
+            self.wall_time.as_secs_f64() * 1e3,
+            self.serial_time.as_secs_f64() * 1e3,
+            self.speedup(),
+        )
+    }
+}
+
+/// Worker-thread count for [`run_matrix`]: the machine's parallelism,
+/// capped by the number of cells.
+pub fn matrix_threads(cells: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(cells)
+        .max(1)
+}
+
+/// Evaluates (and optionally certifies) every `configs[i]` × `prepared[j]`
+/// cell, fanned out over [`matrix_threads`] worker threads pulling cells
+/// from a shared queue. Each cell builds its own per-function
+/// [`PassContext`]s inside the optimizer, so no state is shared between
+/// concurrent cells; the prepared baselines are read-only.
+///
+/// # Panics
+///
+/// Panics (propagated from the workers) if any cell fails validation or
+/// certification.
+pub fn run_matrix(
+    prepared: &[PreparedBenchmark],
+    configs: &[Config],
+    certify: bool,
+) -> MatrixReport {
+    let pairs: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..prepared.len()).map(move |b| (c, b)))
+        .collect();
+    let threads = matrix_threads(pairs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<MatrixCell>>> = pairs.iter().map(|_| Mutex::new(None)).collect();
+    let wall0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(config_index, bench_index)) = pairs.get(i) else {
+                    break;
+                };
+                let pb = &prepared[bench_index];
+                let cfg = &configs[config_index];
+                let cell0 = Instant::now();
+                let result = evaluate_prepared(pb, &cfg.opts);
+                let certificate = certify.then(|| certify_prepared(pb, &cfg.opts));
+                *slots[i].lock().expect("slot lock") = Some(MatrixCell {
+                    config_index,
+                    bench_index,
+                    result,
+                    certificate,
+                    wall: cell0.elapsed(),
+                });
+            });
+        }
+    });
+    let wall_time = wall0.elapsed();
+    let mut cells: Vec<MatrixCell> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock").expect("cell computed"))
+        .collect();
+    cells.sort_by_key(|c| (c.config_index, c.bench_index));
+    let serial_time = cells
+        .iter()
+        .map(|c| c.wall + prepared[c.bench_index].compile_time)
+        .sum();
+    let mut timings = Timings::default();
+    for c in &cells {
+        timings.merge(&c.result.timings);
+    }
+    MatrixReport {
+        cells,
+        threads,
+        wall_time,
+        serial_time,
+        timings,
+    }
+}
+
 /// Formats an aligned text table from headers and rows.
 pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
@@ -313,14 +570,16 @@ mod tests {
         let naive = naive_run(b);
         let r = evaluate(b, &naive, &OptimizeOptions::scheme(Scheme::Lls));
         assert!(r.percent_eliminated > 50.0, "got {}", r.percent_eliminated);
+        assert!(r.timings.pass_nanos() > 0, "passes were timed");
+        assert!(r.timings.report().contains("pass elim "), "elim pass timed");
     }
 
     #[test]
     fn lls_beats_ni_on_the_small_suite() {
         for b in suite(Scale::Small) {
-            let naive = naive_run(&b);
-            let ni = evaluate(&b, &naive, &OptimizeOptions::scheme(Scheme::Ni));
-            let lls = evaluate(&b, &naive, &OptimizeOptions::scheme(Scheme::Lls));
+            let pb = prepare(&b);
+            let ni = evaluate_prepared(&pb, &OptimizeOptions::scheme(Scheme::Ni));
+            let lls = evaluate_prepared(&pb, &OptimizeOptions::scheme(Scheme::Lls));
             assert!(
                 lls.percent_eliminated >= ni.percent_eliminated - 1e-9,
                 "{}: LLS {} < NI {}",
@@ -334,11 +593,11 @@ mod tests {
     #[test]
     fn every_config_is_sound_on_the_small_suite() {
         for b in suite(Scale::Small) {
-            let naive = naive_run(&b);
+            let pb = prepare(&b);
             for kind in [CheckKind::Prx, CheckKind::Inx] {
                 for cfg in table2_configs(kind) {
-                    // evaluate() panics on any soundness violation
-                    let r = evaluate(&b, &naive, &cfg.opts);
+                    // evaluate_prepared() panics on any soundness violation
+                    let r = evaluate_prepared(&pb, &cfg.opts);
                     assert!(
                         r.percent_eliminated >= -1e-9,
                         "{} {} eliminated negative checks",
@@ -347,9 +606,56 @@ mod tests {
                     );
                 }
                 for cfg in table3_configs(kind) {
-                    evaluate(&b, &naive, &cfg.opts);
+                    evaluate_prepared(&pb, &cfg.opts);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_evaluation() {
+        let benches = suite(Scale::Small);
+        let prepared: Vec<_> = benches.iter().take(4).map(prepare).collect();
+        let configs = table2_configs(CheckKind::Prx);
+        let report = run_matrix(&prepared, &configs, false);
+        assert_eq!(report.cells.len(), configs.len() * prepared.len());
+        assert!(report.threads >= 1);
+        for (ci, cfg) in configs.iter().enumerate() {
+            for (bi, pb) in prepared.iter().enumerate() {
+                let serial = evaluate_prepared(pb, &cfg.opts);
+                let cell = report.cell(ci, bi);
+                assert_eq!(
+                    cell.result.dynamic_checks, serial.dynamic_checks,
+                    "{} under {}: parallel and serial runs disagree",
+                    pb.bench.name, cfg.label
+                );
+                assert_eq!(cell.result.percent_eliminated, serial.percent_eliminated);
+            }
+        }
+        let rep = report.timings_report();
+        assert!(rep.starts_with("timings-format 1\n"), "got:\n{rep}");
+        assert!(rep.contains("harness threads="));
+    }
+
+    #[test]
+    fn matrix_certification_discharges_everything() {
+        let benches = suite(Scale::Small);
+        let prepared: Vec<_> = benches.iter().take(2).map(prepare).collect();
+        let configs = vec![
+            Config {
+                label: "NI",
+                opts: OptimizeOptions::scheme(Scheme::Ni),
+            },
+            Config {
+                label: "LLS",
+                opts: OptimizeOptions::scheme(Scheme::Lls),
+            },
+        ];
+        let report = run_matrix(&prepared, &configs, true);
+        for cell in &report.cells {
+            let cert = cell.certificate.as_ref().expect("certified cell");
+            assert!(cert.ok());
+            assert!(cert.obligations > 0);
         }
     }
 

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 
 use nascent_analysis::dom::Dominators;
-use nascent_analysis::reach::unique_defs;
+use nascent_analysis::reach::UniqueDefs;
 use nascent_ir::{Function, LinForm, Stmt, VarId};
 
 /// Index of a family within a [`Cig`].
@@ -230,10 +230,10 @@ impl CigClosure {
 pub fn discover_affine_edges(
     f: &Function,
     dom: &Dominators,
+    defs: &UniqueDefs,
     cig: &mut Cig,
     families_in_use: &[(FamilyId, LinForm)],
 ) -> usize {
-    let defs = unique_defs(f);
     // blocks containing checks per variable
     let mut check_blocks: HashMap<VarId, Vec<nascent_ir::BlockId>> = HashMap::new();
     for b in f.block_ids() {
@@ -256,7 +256,7 @@ pub fn discover_affine_edges(
     }
 
     let mut added = 0;
-    for (x, site) in &defs {
+    for (x, site) in defs {
         let Some(rhs) = &site.rhs else { continue };
         let form = LinForm::from_expr(rhs);
         let Some((y, coeff, k)) = form.as_single_var() else {
@@ -432,7 +432,9 @@ end
         )
         .unwrap();
         let f = p.main_function();
-        let dom = Dominators::compute(f);
+        let mut ctx = nascent_analysis::context::PassContext::new();
+        let dom = ctx.dominators(f);
+        let udefs = ctx.unique_defs(f);
         let mut cig = Cig::new();
         // seed with the families of all checks in the program
         let mut fams: Vec<(FamilyId, LinForm)> = Vec::new();
@@ -447,7 +449,7 @@ end
                 }
             }
         }
-        let added = discover_affine_edges(f, &dom, &mut cig, &fams);
+        let added = discover_affine_edges(f, &dom, &udefs, &mut cig, &fams);
         assert!(added > 0);
         // the family {m} (from Check m <= 20) must imply family {n}
         let fm = cig.lookup(&LinForm::var(VarId(1))).unwrap();

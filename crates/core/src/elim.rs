@@ -6,6 +6,7 @@
 //! not its guard would have fired), but they never make other checks
 //! redundant.
 
+use nascent_analysis::context::{Invalidation, PassContext};
 use nascent_analysis::dataflow::solve;
 use nascent_ir::{Function, Stmt};
 
@@ -29,7 +30,18 @@ pub fn eliminate_logged(
     stats: &mut OptimizeStats,
     log: &mut JustLog,
 ) -> usize {
-    let u = Universe::build(f, mode);
+    eliminate_ctx(f, mode, stats, log, &mut PassContext::new())
+}
+
+/// [`eliminate_logged`] over a shared [`PassContext`].
+pub fn eliminate_ctx(
+    f: &mut Function,
+    mode: ImplicationMode,
+    stats: &mut OptimizeStats,
+    log: &mut JustLog,
+    ctx: &mut PassContext,
+) -> usize {
+    let u = Universe::build_ctx(f, mode, ctx);
     stats.families += u.cig.family_count();
     stats.cig_edges += u.cig.edge_count();
     if u.is_empty() {
@@ -63,6 +75,9 @@ pub fn eliminate_logged(
             kept.push(s);
         }
         block.stmts = kept;
+    }
+    if removed > 0 {
+        ctx.invalidate(Invalidation::Statements);
     }
     removed
 }

@@ -26,15 +26,20 @@
 
 use std::collections::HashMap;
 
-use nascent_analysis::dom::Dominators;
-use nascent_analysis::reach::{reaching_in_block, unique_defs};
+use nascent_analysis::context::{Invalidation, PassContext};
+use nascent_analysis::reach::reaching_in_block;
 use nascent_ir::{CheckExpr, Function, LinForm, Stmt, VarId};
 
 /// Rewrites every check's range expression through defining expressions.
 /// Returns the number of substitutions applied.
 pub fn rewrite_checks(f: &mut Function) -> usize {
-    let dom = Dominators::compute(f);
-    let udefs = unique_defs(f);
+    rewrite_checks_ctx(f, &mut PassContext::new())
+}
+
+/// [`rewrite_checks`] over a shared [`PassContext`].
+pub fn rewrite_checks_ctx(f: &mut Function, ctx: &mut PassContext) -> usize {
+    let dom = ctx.dominators(f);
+    let udefs = ctx.unique_defs(f);
     let mut def_count: HashMap<VarId, usize> = HashMap::new();
     for b in f.block_ids() {
         for s in &f.block(b).stmts {
@@ -121,6 +126,9 @@ pub fn rewrite_checks(f: &mut Function) -> usize {
                 }
             }
         }
+    }
+    if applied > 0 {
+        ctx.invalidate(Invalidation::Statements);
     }
     applied
 }

@@ -29,6 +29,7 @@
 //! safe-earliest insertion may increase the checks executed on paths that
 //! previously performed a weaker check (see `tests::figure5`).
 
+use nascent_analysis::context::{Invalidation, PassContext};
 use nascent_analysis::dataflow::solve;
 use nascent_ir::{BlockId, Check, CheckExpr, Function, Stmt, Terminator};
 
@@ -70,7 +71,19 @@ pub fn insert_logged(
     stats: &mut OptimizeStats,
     log: &mut JustLog,
 ) -> usize {
-    let u = Universe::build(f, mode);
+    insert_ctx(f, placement, mode, stats, log, &mut PassContext::new())
+}
+
+/// [`insert_logged`] over a shared [`PassContext`].
+pub fn insert_ctx(
+    f: &mut Function,
+    placement: Placement,
+    mode: ImplicationMode,
+    stats: &mut OptimizeStats,
+    log: &mut JustLog,
+    ctx: &mut PassContext,
+) -> usize {
+    let u = Universe::build_ctx(f, mode, ctx);
     if u.is_empty() {
         return 0;
     }
@@ -208,7 +221,13 @@ pub fn insert_logged(
         }
     }
 
-    apply_insertions(f, &u, insertions, log)
+    let (inserted, split_edges) = apply_insertions(f, &u, insertions, log);
+    if split_edges {
+        ctx.invalidate(Invalidation::Cfg);
+    } else if inserted > 0 {
+        ctx.invalidate(Invalidation::Statements);
+    }
+    inserted
 }
 
 enum InsertPoint {
@@ -221,14 +240,16 @@ enum InsertPoint {
     Edge(BlockId, BlockId),
 }
 
+/// Returns `(checks inserted, whether any edge block was split)`.
 fn apply_insertions(
     f: &mut Function,
     u: &Universe,
     insertions: Vec<(InsertPoint, BitSet)>,
     log: &mut JustLog,
-) -> usize {
+) -> (usize, bool) {
     let preds = f.predecessors();
     let mut inserted = 0;
+    let mut split_edges = false;
     for (point, set) in insertions {
         let mut checks: Vec<CheckExpr> = set.iter().map(|i| u.checks[i].clone()).collect();
         // strongest first so elimination keeps only the strongest
@@ -270,6 +291,7 @@ fn apply_insertions(
                 } else if preds[j.index()].len() == 1 {
                     j
                 } else {
+                    split_edges = true;
                     f.split_edge(i, j)
                 };
                 let block = f.block_mut(target);
@@ -288,7 +310,7 @@ fn apply_insertions(
         .blocks
         .iter()
         .all(|b| !matches!(b.term, Terminator::Jump(t) if t.index() >= f.blocks.len())));
-    inserted
+    (inserted, split_edges)
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@ use nascent_ir::{Function, Program};
 
 pub use cig::{Cig, FamilyId};
 pub use justify::{Event, JustLog};
+pub use nascent_analysis::context::{Invalidation, PassContext, Timings};
 pub use universe::Universe;
 
 /// Check placement scheme (§3.3 and Table 2 of the paper).
@@ -221,6 +222,23 @@ pub fn optimize_program(prog: &mut Program, opts: &OptimizeOptions) -> OptimizeS
     stats
 }
 
+/// [`optimize_program`], additionally returning merged per-analysis and
+/// per-pass wall-time counters across all functions.
+pub fn optimize_program_timed(
+    prog: &mut Program,
+    opts: &OptimizeOptions,
+) -> (OptimizeStats, Timings) {
+    let mut stats = OptimizeStats::default();
+    let mut timings = Timings::new();
+    for f in &mut prog.functions {
+        let mut log = JustLog::new();
+        let mut ctx = PassContext::new();
+        stats.absorb(optimize_function_with(f, opts, &mut log, &mut ctx));
+        timings.merge(&ctx.timings);
+    }
+    (stats, timings)
+}
+
 /// Optimizes one function in place.
 pub fn optimize_function(f: &mut Function, opts: &OptimizeOptions) -> OptimizeStats {
     let mut log = JustLog::new();
@@ -233,14 +251,27 @@ pub fn optimize_program_logged(
     prog: &mut Program,
     opts: &OptimizeOptions,
 ) -> (OptimizeStats, Vec<JustLog>) {
+    let (stats, logs, _) = optimize_program_logged_timed(prog, opts);
+    (stats, logs)
+}
+
+/// [`optimize_program_logged`], additionally returning merged wall-time
+/// counters across all functions.
+pub fn optimize_program_logged_timed(
+    prog: &mut Program,
+    opts: &OptimizeOptions,
+) -> (OptimizeStats, Vec<JustLog>, Timings) {
     let mut stats = OptimizeStats::default();
     let mut logs = Vec::with_capacity(prog.functions.len());
+    let mut timings = Timings::new();
     for f in &mut prog.functions {
         let mut log = JustLog::new();
-        stats.absorb(optimize_function_logged(f, opts, &mut log));
+        let mut ctx = PassContext::new();
+        stats.absorb(optimize_function_with(f, opts, &mut log, &mut ctx));
+        timings.merge(&ctx.timings);
         logs.push(log);
     }
-    (stats, logs)
+    (stats, logs, timings)
 }
 
 /// Optimizes one function in place, recording every decision in `log`.
@@ -248,6 +279,18 @@ pub fn optimize_function_logged(
     f: &mut Function,
     opts: &OptimizeOptions,
     log: &mut JustLog,
+) -> OptimizeStats {
+    optimize_function_with(f, opts, log, &mut PassContext::new())
+}
+
+/// Optimizes one function in place over a caller-provided [`PassContext`]:
+/// every pass draws its analyses from the shared cache, declares its
+/// invalidations, and has its wall time recorded under a stable pass name.
+pub fn optimize_function_with(
+    f: &mut Function,
+    opts: &OptimizeOptions,
+    log: &mut JustLog,
+    ctx: &mut PassContext,
 ) -> OptimizeStats {
     let mut stats = OptimizeStats {
         static_before: f.check_count(),
@@ -259,62 +302,82 @@ pub fn optimize_function_logged(
     // verifier applies the same rewrite to its reference program, so no
     // event is logged for it (DESIGN.md §7).
     if opts.kind == CheckKind::Inx {
-        inx::rewrite_checks(f);
+        ctx.time_pass("inx-rewrite", |ctx| inx::rewrite_checks_ctx(f, ctx));
     }
 
     // step 3: insertion under the selected scheme
     match opts.scheme {
         Scheme::Ni => {}
         Scheme::Cs => {
-            stats.strengthened = strength::strengthen_logged(f, opts.implications, &mut stats, log);
+            stats.strengthened = ctx.time_pass("strengthen", |ctx| {
+                strength::strengthen_ctx(f, opts.implications, &mut stats, log, ctx)
+            });
         }
         Scheme::Se => {
-            stats.inserted = lcm::insert_logged(
-                f,
-                lcm::Placement::SafeEarliest,
-                opts.implications,
-                &mut stats,
-                log,
-            );
+            stats.inserted = ctx.time_pass("pre-insert", |ctx| {
+                lcm::insert_ctx(
+                    f,
+                    lcm::Placement::SafeEarliest,
+                    opts.implications,
+                    &mut stats,
+                    log,
+                    ctx,
+                )
+            });
         }
         Scheme::Lni => {
-            stats.inserted = lcm::insert_logged(
-                f,
-                lcm::Placement::Latest,
-                opts.implications,
-                &mut stats,
-                log,
-            );
+            stats.inserted = ctx.time_pass("pre-insert", |ctx| {
+                lcm::insert_ctx(
+                    f,
+                    lcm::Placement::Latest,
+                    opts.implications,
+                    &mut stats,
+                    log,
+                    ctx,
+                )
+            });
         }
         Scheme::Li => {
-            stats.hoisted = preheader::hoist_logged(f, preheader::HoistKind::InvariantOnly, log);
+            stats.hoisted = ctx.time_pass("preheader-hoist", |ctx| {
+                preheader::hoist_ctx(f, preheader::HoistKind::InvariantOnly, log, ctx)
+            });
         }
         Scheme::Lls => {
-            stats.hoisted =
-                preheader::hoist_logged(f, preheader::HoistKind::InvariantAndLinear, log);
+            stats.hoisted = ctx.time_pass("preheader-hoist", |ctx| {
+                preheader::hoist_ctx(f, preheader::HoistKind::InvariantAndLinear, log, ctx)
+            });
         }
         Scheme::All => {
-            stats.hoisted =
-                preheader::hoist_logged(f, preheader::HoistKind::InvariantAndLinear, log);
-            stats.inserted = lcm::insert_logged(
-                f,
-                lcm::Placement::SafeEarliest,
-                opts.implications,
-                &mut stats,
-                log,
-            );
+            stats.hoisted = ctx.time_pass("preheader-hoist", |ctx| {
+                preheader::hoist_ctx(f, preheader::HoistKind::InvariantAndLinear, log, ctx)
+            });
+            stats.inserted = ctx.time_pass("pre-insert", |ctx| {
+                lcm::insert_ctx(
+                    f,
+                    lcm::Placement::SafeEarliest,
+                    opts.implications,
+                    &mut stats,
+                    log,
+                    ctx,
+                )
+            });
         }
         Scheme::Mcm => {
-            stats.hoisted = mcm::hoist_mcm_logged(f, log);
+            stats.hoisted = ctx.time_pass("mcm-hoist", |ctx| mcm::hoist_mcm_ctx(f, log, ctx));
         }
     }
 
     // steps 1/2/4: availability-based elimination with the CIG
-    let eliminated = elim::eliminate_logged(f, opts.implications, &mut stats, log);
+    let eliminated = ctx.time_pass("elim", |ctx| {
+        elim::eliminate_ctx(f, opts.implications, &mut stats, log, ctx)
+    });
     stats.eliminated_static += eliminated;
 
     // step 5: compile-time checks
-    let (t, fa) = fold::fold_constant_checks_logged(f, log);
+    let (t, fa) = ctx.time_pass("fold", |_| fold::fold_constant_checks_logged(f, log));
+    if t + fa > 0 {
+        ctx.invalidate(Invalidation::Statements);
+    }
     stats.folded_true = t;
     stats.folded_false = fa;
 

@@ -18,8 +18,7 @@
 //! * only *simple* range expressions are hoisted: `±v (+ constant)` for
 //!   `v` the loop's basic induction variable or a loop invariant.
 
-use nascent_analysis::dom::{Dominators, PostDominators};
-use nascent_analysis::loops::{insert_preheaders, LoopForest};
+use nascent_analysis::context::{Invalidation, PassContext};
 use nascent_ir::{Check, CheckExpr, Function, Stmt};
 
 use crate::justify::{Event, JustLog};
@@ -35,10 +34,15 @@ pub fn hoist_mcm(f: &mut Function) -> usize {
 /// [`hoist_mcm`], recording [`Event::Hoisted`] per preheader insertion
 /// and [`Event::HoistCovered`] per articulation-block check it deletes.
 pub fn hoist_mcm_logged(f: &mut Function, log: &mut JustLog) -> usize {
-    insert_preheaders(f);
-    let dom = Dominators::compute(f);
-    let pdom = PostDominators::compute(f);
-    let forest = LoopForest::compute_with(f, &dom);
+    hoist_mcm_ctx(f, log, &mut PassContext::new())
+}
+
+/// [`hoist_mcm_logged`] over a shared [`PassContext`].
+pub fn hoist_mcm_ctx(f: &mut Function, log: &mut JustLog, ctx: &mut PassContext) -> usize {
+    ctx.ensure_preheaders(f);
+    let dom = ctx.dominators(f);
+    let pdom = ctx.post_dominators(f);
+    let forest = ctx.loop_forest(f);
     let mut hoisted = 0;
     for l in forest.inner_to_outer() {
         let info = forest.loop_info(l).clone();
@@ -121,6 +125,9 @@ pub fn hoist_mcm_logged(f: &mut Function, log: &mut JustLog) -> usize {
                 })
                 .collect();
         }
+    }
+    if hoisted > 0 {
+        ctx.invalidate(Invalidation::Statements);
     }
     hoisted
 }

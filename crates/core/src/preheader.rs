@@ -28,10 +28,11 @@
 
 use std::collections::HashMap;
 
+use nascent_analysis::context::{Invalidation, PassContext};
 use nascent_analysis::dataflow::solve;
 use nascent_analysis::dom::Dominators;
-use nascent_analysis::loops::{insert_preheaders, LoopForest, LoopId, LoopInfo};
-use nascent_analysis::reach::{unique_defs, UniqueDefs};
+use nascent_analysis::loops::{LoopForest, LoopId, LoopInfo};
+use nascent_analysis::reach::UniqueDefs;
 use nascent_ir::{BlockId, Check, CheckExpr, Function, LinForm, Stmt, VarId};
 
 use crate::dataflow::Antic;
@@ -59,12 +60,22 @@ pub fn hoist(f: &mut Function, kind: HoistKind) -> usize {
 /// [`Event::HoistCovered`] per in-loop check it deletes, and
 /// [`Event::Rehoisted`] per guarded check moved to an outer preheader.
 pub fn hoist_logged(f: &mut Function, kind: HoistKind, log: &mut JustLog) -> usize {
-    insert_preheaders(f);
-    let dom = Dominators::compute(f);
-    let forest = LoopForest::compute_with(f, &dom);
+    hoist_ctx(f, kind, log, &mut PassContext::new())
+}
+
+/// [`hoist_logged`] over a shared [`PassContext`].
+pub fn hoist_ctx(
+    f: &mut Function,
+    kind: HoistKind,
+    log: &mut JustLog,
+    ctx: &mut PassContext,
+) -> usize {
+    ctx.ensure_preheaders(f);
+    let dom = ctx.dominators(f);
+    let forest = ctx.loop_forest(f);
     let mut hoisted = 0;
     for l in forest.inner_to_outer() {
-        hoisted += hoist_loop(f, &dom, &forest, l, kind, log);
+        hoisted += hoist_loop(f, ctx, &dom, &forest, l, kind, log);
     }
     hoisted
 }
@@ -133,6 +144,7 @@ fn normalize_check(
 
 fn hoist_loop(
     f: &mut Function,
+    ctx: &mut PassContext,
     dom: &Dominators,
     forest: &LoopForest,
     l: LoopId,
@@ -148,7 +160,7 @@ fn hoist_loop(
     };
 
     // ---- candidates: unconditional checks anticipatable at body entry ----
-    let u = Universe::build(f, ImplicationMode::All);
+    let u = Universe::build_ctx(f, ImplicationMode::All, ctx);
     let antic = solve(f, &Antic { u: &u });
     let at_body = &antic.entry[body_entry.index()];
 
@@ -283,9 +295,18 @@ fn hoist_loop(
         }
     }
 
+    if count > 0 {
+        // checks were inserted and covered occurrences deleted: statement
+        // positions shifted under the cached unique-defs/SSA results
+        ctx.invalidate(Invalidation::Statements);
+    }
+
     // ---- structural re-hoist of guarded checks from dominated blocks ----
-    count += rehoist_guarded(f, dom, &info, preheader, &guard, log);
-    count
+    let moved = rehoist_guarded(f, ctx, dom, &info, preheader, &guard, log);
+    if moved > 0 {
+        ctx.invalidate(Invalidation::Statements);
+    }
+    count + moved
 }
 
 /// Public form of the loop-limit substitution for the restricted MCM
@@ -316,6 +337,7 @@ fn substitute_limit(info: &LoopInfo, cond: &CheckExpr) -> Option<CheckExpr> {
 /// entry guard appended.
 fn rehoist_guarded(
     f: &mut Function,
+    ctx: &mut PassContext,
     dom: &Dominators,
     info: &LoopInfo,
     preheader: BlockId,
@@ -331,7 +353,7 @@ fn rehoist_guarded(
         },
         None => return 0,
     };
-    let udefs = unique_defs(f);
+    let udefs = ctx.unique_defs(f);
     let mut moved: Vec<Check> = Vec::new();
     for &b in &info.blocks {
         if b == info.header || !dom.dominates(b, latch) {

@@ -6,6 +6,7 @@
 //! removed by the elimination step. This turns the paper's Figure 1(b)
 //! into Figure 1(c).
 
+use nascent_analysis::context::{Invalidation, PassContext};
 use nascent_analysis::dataflow::solve;
 use nascent_ir::{Function, Stmt};
 
@@ -31,6 +32,17 @@ pub fn strengthen_logged(
     stats: &mut OptimizeStats,
     log: &mut JustLog,
 ) -> usize {
+    strengthen_ctx(f, mode, stats, log, &mut PassContext::new())
+}
+
+/// [`strengthen_logged`] over a shared [`PassContext`].
+pub fn strengthen_ctx(
+    f: &mut Function,
+    mode: ImplicationMode,
+    stats: &mut OptimizeStats,
+    log: &mut JustLog,
+    ctx: &mut PassContext,
+) -> usize {
     // strengthening substitutes a same-family implication; without
     // within-family implications the transformation is a no-op
     if mode != ImplicationMode::All {
@@ -38,17 +50,25 @@ pub fn strengthen_logged(
     }
     let mut total = 0;
     for _round in 0..8 {
-        let changed = strengthen_round(f, stats, log);
+        let changed = strengthen_round(f, stats, log, ctx);
         total += changed;
         if changed == 0 {
             break;
         }
+        // bounds were rewritten in place: statement-derived analyses of
+        // the next round's universe must be rebuilt
+        ctx.invalidate(Invalidation::Statements);
     }
     total
 }
 
-fn strengthen_round(f: &mut Function, stats: &mut OptimizeStats, log: &mut JustLog) -> usize {
-    let u = Universe::build(f, ImplicationMode::All);
+fn strengthen_round(
+    f: &mut Function,
+    stats: &mut OptimizeStats,
+    log: &mut JustLog,
+    ctx: &mut PassContext,
+) -> usize {
+    let u = Universe::build_ctx(f, ImplicationMode::All, ctx);
     if u.is_empty() {
         return 0;
     }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use nascent_analysis::dom::Dominators;
+use nascent_analysis::context::PassContext;
 use nascent_ir::{CheckExpr, Function, Stmt, VarId};
 
 use crate::cig::{discover_affine_edges, Cig, CigClosure, FamilyId};
@@ -47,7 +47,13 @@ impl Universe {
     /// Cross-family affine edges are discovered unless the mode is
     /// [`ImplicationMode::None`].
     pub fn build(f: &Function, mode: ImplicationMode) -> Universe {
-        Universe::build_with_extra(f, mode, &[])
+        Universe::build_ctx(f, mode, &mut PassContext::new())
+    }
+
+    /// [`Universe::build`] drawing dominators and unique definitions from
+    /// a shared [`PassContext`] instead of recomputing them.
+    pub fn build_ctx(f: &Function, mode: ImplicationMode, ctx: &mut PassContext) -> Universe {
+        Universe::build_with_extra_ctx(f, mode, &[], ctx)
     }
 
     /// [`Universe::build`] with additional check expressions seeded into
@@ -56,6 +62,16 @@ impl Universe {
     /// justification log and the reference program but not in the
     /// optimized function).
     pub fn build_with_extra(f: &Function, mode: ImplicationMode, extra: &[CheckExpr]) -> Universe {
+        Universe::build_with_extra_ctx(f, mode, extra, &mut PassContext::new())
+    }
+
+    /// [`Universe::build_with_extra`] over a shared [`PassContext`].
+    pub fn build_with_extra_ctx(
+        f: &Function,
+        mode: ImplicationMode,
+        extra: &[CheckExpr],
+        ctx: &mut PassContext,
+    ) -> Universe {
         let mut checks: Vec<CheckExpr> = Vec::new();
         let mut id_of: HashMap<CheckExpr, usize> = HashMap::new();
         for b in f.block_ids() {
@@ -77,13 +93,14 @@ impl Universe {
         let mut cig = Cig::new();
         let family_of: Vec<FamilyId> = checks.iter().map(|c| cig.family(c.family_key())).collect();
         if mode != ImplicationMode::None {
-            let dom = Dominators::compute(f);
+            let dom = ctx.dominators(f);
+            let udefs = ctx.unique_defs(f);
             let fams: Vec<(FamilyId, nascent_ir::LinForm)> = family_of
                 .iter()
                 .zip(&checks)
                 .map(|(fid, c)| (*fid, c.family_key().clone()))
                 .collect();
-            discover_affine_edges(f, &dom, &mut cig, &fams);
+            discover_affine_edges(f, &dom, &udefs, &mut cig, &fams);
         }
         let closure = cig.closure();
 

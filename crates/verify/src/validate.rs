@@ -44,11 +44,13 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
+use nascent_analysis::context::PassContext;
 use nascent_analysis::dataflow::{solve, Solution};
 use nascent_analysis::dom::Dominators;
 use nascent_analysis::loops::{LoopForest, LoopInfo};
-use nascent_analysis::reach::{unique_defs, UniqueDefs};
+use nascent_analysis::reach::UniqueDefs;
 use nascent_ir::{BlockId, Check, CheckExpr, Function, LinForm, Program, Stmt, Terminator, VarId};
 use nascent_rangecheck::dataflow::{antic_step, avail_step, Antic, Avail};
 use nascent_rangecheck::util::BitSet;
@@ -217,11 +219,15 @@ pub fn certify_function(
             }
         }
     }
-    let u = Universe::build_with_extra(reference, opts.implications, &extra);
+    // the trusted side recomputes every analysis itself: two fresh
+    // per-function contexts (one per CFG), fully independent of whatever
+    // the untrusted optimizer cached during its run
+    let mut ref_ctx = PassContext::new();
+    let mut opt_ctx = PassContext::new();
+    let u = Universe::build_with_extra_ctx(reference, opts.implications, &extra, &mut ref_ctx);
     let ref_antic = solve(reference, &Antic { u: &u });
     let opt_avail = solve(optimized, &Avail { u: &u });
 
-    let dom = Dominators::compute(optimized);
     let ctx = Ctx {
         ref_f: reference,
         opt_f: optimized,
@@ -229,11 +235,11 @@ pub fn certify_function(
         u,
         ref_antic,
         opt_avail,
-        vra_ref: vra::analyze(reference),
-        vra_opt: vra::analyze(optimized),
-        forest: LoopForest::compute_with(optimized, &dom),
-        dom,
-        udefs: unique_defs(optimized),
+        vra_ref: vra::analyze_with(reference, &mut ref_ctx),
+        vra_opt: vra::analyze_with(optimized, &mut opt_ctx),
+        forest: opt_ctx.loop_forest(optimized),
+        dom: opt_ctx.dominators(optimized),
+        udefs: opt_ctx.unique_defs(optimized),
         shared: reference.blocks.len(),
     };
 
@@ -395,9 +401,9 @@ struct Ctx<'a> {
     opt_avail: Solution<BitSet>,
     vra_ref: Vra,
     vra_opt: Vra,
-    forest: LoopForest,
-    dom: Dominators,
-    udefs: UniqueDefs,
+    forest: Arc<LoopForest>,
+    dom: Arc<Dominators>,
+    udefs: Arc<UniqueDefs>,
     shared: usize,
 }
 

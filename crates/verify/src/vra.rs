@@ -22,7 +22,6 @@
 
 use std::collections::HashMap;
 
-use nascent_analysis::loops::LoopForest;
 use nascent_ir::{
     Atom, BinOp, CheckExpr, Expr, Function, LinForm, Stmt, Term, Terminator, UnOp, VarId,
 };
@@ -403,8 +402,14 @@ fn iteration_cap(f: &Function) -> u32 {
 
 /// Runs the analysis to a fixpoint over `f`.
 pub fn analyze(f: &Function) -> Vra {
+    analyze_with(f, &mut nascent_analysis::context::PassContext::new())
+}
+
+/// [`analyze`] drawing the loop forest from a shared
+/// [`nascent_analysis::context::PassContext`] instead of recomputing it.
+pub fn analyze_with(f: &Function, ctx: &mut nascent_analysis::context::PassContext) -> Vra {
     // trip-count facts: the body-valid iv range of each loop
-    let forest = LoopForest::compute(f);
+    let forest = ctx.loop_forest(f);
     let mut loop_facts: HashMap<usize, Vec<(LinForm, i64)>> = HashMap::new();
     for info in &forest.loops {
         let (Some(body), Some(iv)) = (info.body_entry, info.iv.as_ref()) else {

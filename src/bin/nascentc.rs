@@ -19,6 +19,8 @@
 //!   --no-opt                                keep the naive checks
 //!   --certify                               (stats/report) also run the
 //!                                           static certifier on the result
+//!   --timings                               (stats) per-analysis/per-pass
+//!                                           wall times (timings-format 1)
 //! ```
 //!
 //! `verify` (and `--certify`) re-optimizes with the justification log
@@ -31,8 +33,8 @@ use nascent::frontend::compile;
 use nascent::interp::{run, Limits};
 use nascent::ir::pretty::DisplayProgram;
 use nascent::rangecheck::{
-    optimize_program, optimize_program_logged, CheckKind, ImplicationMode, JustLog,
-    OptimizeOptions, OptimizeStats, Scheme,
+    optimize_program, optimize_program_logged_timed, CheckKind, ImplicationMode, JustLog,
+    OptimizeOptions, OptimizeStats, Scheme, Timings,
 };
 use nascent::verify::{certify_program, Certificate};
 
@@ -52,6 +54,7 @@ struct Options {
     optimize: bool,
     classic: bool,
     certify: bool,
+    timings: bool,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -59,6 +62,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut optimize = true;
     let mut classic = false;
     let mut certify = false;
+    let mut timings = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -91,6 +95,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
             "--no-opt" => optimize = false,
             "--classic" => classic = true,
             "--certify" => certify = true,
+            "--timings" => timings = true,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -100,6 +105,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         optimize,
         classic,
         certify,
+        timings,
     })
 }
 
@@ -110,21 +116,21 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
 fn optimize_and_certify(
     options: &Options,
     prog: &mut nascent::ir::Program,
-) -> (OptimizeStats, Certificate) {
+) -> (OptimizeStats, Certificate, Timings) {
     if options.classic {
         for f in &mut prog.functions {
             nascent::classic::optimize_classic(f);
         }
     }
     let reference = prog.clone();
-    let (stats, logs) = if options.optimize {
-        optimize_program_logged(prog, &options.opts)
+    let (stats, logs, timings) = if options.optimize {
+        optimize_program_logged_timed(prog, &options.opts)
     } else {
         let logs = (0..prog.functions.len()).map(|_| JustLog::new()).collect();
-        (OptimizeStats::default(), logs)
+        (OptimizeStats::default(), logs, Timings::default())
     };
     let cert = certify_program(&reference, prog, &logs, &options.opts);
-    (stats, cert)
+    (stats, cert, timings)
 }
 
 /// Prints a certificate, diagnostics first; `Err` when it was rejected.
@@ -201,7 +207,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "stats" => {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            let (stats, cert) = optimize_and_certify(&options, &mut prog);
+            let (stats, cert, timings) = optimize_and_certify(&options, &mut prog);
             println!("scheme:            {}", options.opts.scheme.name());
             println!(
                 "static checks:     {} -> {}",
@@ -218,6 +224,10 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             println!("families:          {}", stats.families);
             println!("CIG edges:         {}", stats.cig_edges);
             println!("dataflow iters:    {}", stats.dataflow_iterations);
+            if options.timings {
+                println!();
+                print!("{}", timings.report());
+            }
             if options.certify {
                 render_certificate(&cert)?;
             }
@@ -245,7 +255,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             let options = parse_options(rest)?;
             let before = load(file)?;
             let mut after = load(file)?;
-            let (_, cert) = optimize_and_certify(&options, &mut after);
+            let (_, cert, _) = optimize_and_certify(&options, &mut after);
             print!("{}", nascent::rangecheck::report::report(&before, &after));
             if options.certify {
                 render_certificate(&cert)?;
@@ -255,7 +265,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "verify" => {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            let (_, cert) = optimize_and_certify(&options, &mut prog);
+            let (_, cert, _) = optimize_and_certify(&options, &mut prog);
             println!(
                 "scheme {} / {:?} / {:?} implications",
                 options.opts.scheme.name(),

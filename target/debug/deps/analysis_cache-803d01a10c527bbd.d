@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_cache-803d01a10c527bbd.d: crates/bench/benches/analysis_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_cache-803d01a10c527bbd.rmeta: crates/bench/benches/analysis_cache.rs Cargo.toml
+
+crates/bench/benches/analysis_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cfg_shapes-b7e3886c9d00289f.d: crates/analysis/tests/cfg_shapes.rs
+
+/root/repo/target/debug/deps/cfg_shapes-b7e3886c9d00289f: crates/analysis/tests/cfg_shapes.rs
+
+crates/analysis/tests/cfg_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/context-3cc5426ebde60739.d: crates/analysis/tests/context.rs
+
+/root/repo/target/debug/deps/context-3cc5426ebde60739: crates/analysis/tests/context.rs
+
+crates/analysis/tests/context.rs:

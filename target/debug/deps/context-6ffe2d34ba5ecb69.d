@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context-6ffe2d34ba5ecb69.d: crates/analysis/tests/context.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext-6ffe2d34ba5ecb69.rmeta: crates/analysis/tests/context.rs Cargo.toml
+
+crates/analysis/tests/context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

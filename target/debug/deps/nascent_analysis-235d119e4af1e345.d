@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/nascent_analysis-235d119e4af1e345.d: crates/analysis/src/lib.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs Cargo.toml
+/root/repo/target/debug/deps/nascent_analysis-235d119e4af1e345.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnascent_analysis-235d119e4af1e345.rmeta: crates/analysis/src/lib.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs Cargo.toml
+/root/repo/target/debug/deps/libnascent_analysis-235d119e4af1e345.rmeta: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs Cargo.toml
 
 crates/analysis/src/lib.rs:
+crates/analysis/src/context.rs:
 crates/analysis/src/dataflow.rs:
 crates/analysis/src/dom.rs:
 crates/analysis/src/induction.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/nascent_analysis-d9ad8c6d8fbf9d1b.d: crates/analysis/src/lib.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+/root/repo/target/debug/deps/nascent_analysis-d9ad8c6d8fbf9d1b.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
 
-/root/repo/target/debug/deps/nascent_analysis-d9ad8c6d8fbf9d1b: crates/analysis/src/lib.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+/root/repo/target/debug/deps/nascent_analysis-d9ad8c6d8fbf9d1b: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
 
 crates/analysis/src/lib.rs:
+crates/analysis/src/context.rs:
 crates/analysis/src/dataflow.rs:
 crates/analysis/src/dom.rs:
 crates/analysis/src/induction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pass_context-08373f64fcebb939.d: crates/core/tests/pass_context.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpass_context-08373f64fcebb939.rmeta: crates/core/tests/pass_context.rs Cargo.toml
+
+crates/core/tests/pass_context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pass_context-371546b72334571b.d: crates/core/tests/pass_context.rs
+
+/root/repo/target/debug/deps/pass_context-371546b72334571b: crates/core/tests/pass_context.rs
+
+crates/core/tests/pass_context.rs:

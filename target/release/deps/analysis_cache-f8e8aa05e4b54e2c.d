@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_cache-f8e8aa05e4b54e2c.d: crates/bench/benches/analysis_cache.rs
+
+/root/repo/target/release/deps/analysis_cache-f8e8aa05e4b54e2c: crates/bench/benches/analysis_cache.rs
+
+crates/bench/benches/analysis_cache.rs:

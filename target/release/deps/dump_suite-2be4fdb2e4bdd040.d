@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dump_suite-2be4fdb2e4bdd040.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/release/deps/dump_suite-2be4fdb2e4bdd040: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-4d640cde186090d3.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-4d640cde186090d3: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-e17b5d8e7c03c590.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-e17b5d8e7c03c590: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

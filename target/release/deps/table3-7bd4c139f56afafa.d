@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-7bd4c139f56afafa.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-7bd4c139f56afafa: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:
