@@ -4,6 +4,8 @@
 //! systems over the check domain, and the four predicate systems of lazy
 //! code motion, are all instances of [`Problem`] solved by [`solve`].
 
+use std::collections::VecDeque;
+
 use nascent_ir::{BlockId, Function};
 
 /// Direction of propagation.
@@ -37,6 +39,16 @@ pub trait Problem {
     /// Lattice meet.
     fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact;
 
+    /// In-place meet: `*acc = meet(acc, other)`.
+    ///
+    /// The solver accumulates the confluence of predecessor (successor)
+    /// facts through this method, cloning only the first one. Problems
+    /// whose facts support destructive meets (e.g. bit sets) should
+    /// override it to avoid the default's intermediate allocation.
+    fn meet_with(&self, acc: &mut Self::Fact, other: &Self::Fact) {
+        *acc = self.meet(acc, other);
+    }
+
     /// Block transfer function.
     fn transfer(&self, f: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact;
 }
@@ -56,6 +68,40 @@ pub struct Solution<F> {
     pub iterations: u64,
 }
 
+/// FIFO worklist with O(1) pop/push and an `on_queue` bit per block, so
+/// membership tests and dequeues cost O(1) instead of the O(n) scans a
+/// plain `Vec` (shift on `remove(0)`, linear `contains`) would pay.
+/// Scheduling order is identical to the naive FIFO it replaces.
+struct Worklist {
+    queue: VecDeque<BlockId>,
+    on_queue: Vec<bool>,
+}
+
+impl Worklist {
+    fn seeded(init: impl IntoIterator<Item = BlockId>, n: usize) -> Worklist {
+        let mut w = Worklist {
+            queue: VecDeque::with_capacity(n),
+            on_queue: vec![false; n],
+        };
+        for b in init {
+            w.push(b);
+        }
+        w
+    }
+
+    fn push(&mut self, b: BlockId) {
+        if !std::mem::replace(&mut self.on_queue[b.index()], true) {
+            self.queue.push_back(b);
+        }
+    }
+
+    fn pop(&mut self) -> Option<BlockId> {
+        let b = self.queue.pop_front()?;
+        self.on_queue[b.index()] = false;
+        Some(b)
+    }
+}
+
 /// Solves a data-flow problem to fixpoint with a worklist.
 pub fn solve<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
     let n = f.blocks.len();
@@ -67,18 +113,18 @@ pub fn solve<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
 
     match p.direction() {
         Direction::Forward => {
-            let mut work: Vec<BlockId> = rpo.clone();
-            while let Some(b) = pop_front(&mut work) {
+            let mut work = Worklist::seeded(rpo.iter().copied(), n);
+            while let Some(b) = work.pop() {
                 iterations += 1;
                 let in_fact = if b == f.entry {
                     p.boundary()
                 } else {
                     let mut acc: Option<P::Fact> = None;
                     for &q in &preds[b.index()] {
-                        acc = Some(match acc {
-                            None => exit[q.index()].clone(),
-                            Some(a) => p.meet(&a, &exit[q.index()]),
-                        });
+                        match &mut acc {
+                            None => acc = Some(exit[q.index()].clone()),
+                            Some(a) => p.meet_with(a, &exit[q.index()]),
+                        }
                     }
                     acc.unwrap_or_else(|| p.top())
                 };
@@ -88,16 +134,14 @@ pub fn solve<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
                 if changed {
                     exit[b.index()] = out_fact;
                     for s in f.successors(b) {
-                        if !work.contains(&s) {
-                            work.push(s);
-                        }
+                        work.push(s);
                     }
                 }
             }
         }
         Direction::Backward => {
-            let mut work: Vec<BlockId> = rpo.iter().rev().copied().collect();
-            while let Some(b) = pop_front(&mut work) {
+            let mut work = Worklist::seeded(rpo.iter().rev().copied(), n);
+            while let Some(b) = work.pop() {
                 iterations += 1;
                 let succs = f.successors(b);
                 let out_fact = if succs.is_empty() {
@@ -105,10 +149,10 @@ pub fn solve<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
                 } else {
                     let mut acc: Option<P::Fact> = None;
                     for &s in &succs {
-                        acc = Some(match acc {
-                            None => entry[s.index()].clone(),
-                            Some(a) => p.meet(&a, &entry[s.index()]),
-                        });
+                        match &mut acc {
+                            None => acc = Some(entry[s.index()].clone()),
+                            Some(a) => p.meet_with(a, &entry[s.index()]),
+                        }
                     }
                     acc.expect("non-empty succs")
                 };
@@ -118,9 +162,7 @@ pub fn solve<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
                 if changed {
                     entry[b.index()] = in_fact;
                     for &q in &preds[b.index()] {
-                        if !work.contains(&q) {
-                            work.push(q);
-                        }
+                        work.push(q);
                     }
                 }
             }
@@ -130,14 +172,6 @@ pub fn solve<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
         entry,
         exit,
         iterations,
-    }
-}
-
-fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
-    if v.is_empty() {
-        None
-    } else {
-        Some(v.remove(0))
     }
 }
 
@@ -245,6 +279,117 @@ mod tests {
                 }
             }
             live
+        }
+    }
+
+    /// The original solver: `Vec` worklist with `remove(0)` pops and
+    /// linear `contains` membership scans. Kept as the semantic
+    /// reference — the `VecDeque` + `on_queue` worklist must schedule
+    /// blocks in exactly the same order, so `iterations` (reported in
+    /// the compile-time tables) must not regress.
+    fn solve_reference<P: Problem>(f: &Function, p: &P) -> Solution<P::Fact> {
+        let n = f.blocks.len();
+        let preds = f.predecessors();
+        let rpo = f.reverse_postorder();
+        let mut entry: Vec<P::Fact> = vec![p.top(); n];
+        let mut exit: Vec<P::Fact> = vec![p.top(); n];
+        let mut iterations: u64 = 0;
+        let pop_front = |v: &mut Vec<BlockId>| -> Option<BlockId> {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        };
+        match p.direction() {
+            Direction::Forward => {
+                let mut work: Vec<BlockId> = rpo.clone();
+                while let Some(b) = pop_front(&mut work) {
+                    iterations += 1;
+                    let in_fact = if b == f.entry {
+                        p.boundary()
+                    } else {
+                        let mut acc: Option<P::Fact> = None;
+                        for &q in &preds[b.index()] {
+                            acc = Some(match acc {
+                                None => exit[q.index()].clone(),
+                                Some(a) => p.meet(&a, &exit[q.index()]),
+                            });
+                        }
+                        acc.unwrap_or_else(|| p.top())
+                    };
+                    let out_fact = p.transfer(f, b, &in_fact);
+                    let changed = entry[b.index()] != in_fact || exit[b.index()] != out_fact;
+                    entry[b.index()] = in_fact;
+                    if changed {
+                        exit[b.index()] = out_fact;
+                        for s in f.successors(b) {
+                            if !work.contains(&s) {
+                                work.push(s);
+                            }
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                let mut work: Vec<BlockId> = rpo.iter().rev().copied().collect();
+                while let Some(b) = pop_front(&mut work) {
+                    iterations += 1;
+                    let succs = f.successors(b);
+                    let out_fact = if succs.is_empty() {
+                        p.boundary()
+                    } else {
+                        let mut acc: Option<P::Fact> = None;
+                        for &s in &succs {
+                            acc = Some(match acc {
+                                None => entry[s.index()].clone(),
+                                Some(a) => p.meet(&a, &entry[s.index()]),
+                            });
+                        }
+                        acc.expect("non-empty succs")
+                    };
+                    let in_fact = p.transfer(f, b, &out_fact);
+                    let changed = exit[b.index()] != out_fact || entry[b.index()] != in_fact;
+                    exit[b.index()] = out_fact;
+                    if changed {
+                        entry[b.index()] = in_fact;
+                        for &q in &preds[b.index()] {
+                            if !work.contains(&q) {
+                                work.push(q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Solution {
+            entry,
+            exit,
+            iterations,
+        }
+    }
+
+    #[test]
+    fn worklist_iterations_do_not_regress() {
+        // both directions, on CFGs with branches, joins and loops
+        let sources = [
+            "program p\n integer x, y, c\n c = 1\n if (c > 0) then\n x = 1\n else\n y = 2\n endif\n print c\nend\n",
+            "program p\n integer i, s, n\n n = 10\n s = 0\n do i = 1, n\n s = s + i\n enddo\n print s\nend\n",
+            "program p\n integer i, j, s\n s = 0\n do i = 1, 5\n do j = 1, 5\n s = s + j\n enddo\n enddo\n print s\nend\n",
+        ];
+        for src in sources {
+            let p = compile(src).unwrap();
+            let f = p.main_function();
+            let fast = solve(f, &MustAssigned);
+            let slow = solve_reference(f, &MustAssigned);
+            assert_eq!(fast.iterations, slow.iterations, "forward on {src:?}");
+            assert_eq!(fast.entry, slow.entry);
+            assert_eq!(fast.exit, slow.exit);
+            let fast = solve(f, &Live);
+            let slow = solve_reference(f, &Live);
+            assert_eq!(fast.iterations, slow.iterations, "backward on {src:?}");
+            assert_eq!(fast.entry, slow.entry);
+            assert_eq!(fast.exit, slow.exit);
         }
     }
 

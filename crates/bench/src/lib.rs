@@ -25,7 +25,9 @@ use std::time::{Duration, Instant};
 
 use nascent_analysis::context::PassContext;
 use nascent_frontend::{compile, compile_with, CheckInsertion};
-use nascent_interp::{run, Limits, RunResult};
+use nascent_interp::{
+    lower, run_compiled, run_with_engine, CompiledProgram, Engine, Limits, RunResult,
+};
 use nascent_ir::{Program, Stmt};
 use nascent_rangecheck::{
     optimize_program_logged, optimize_program_timed, CheckKind, ImplicationMode, OptimizeOptions,
@@ -110,6 +112,10 @@ pub struct PreparedBenchmark {
     pub bench: Benchmark,
     /// Naive compile (checks inserted, nothing optimized).
     pub checked: Program,
+    /// The naive program lowered to register bytecode, once; re-runs of
+    /// the naive baseline (differential tests, engine benchmarks) go
+    /// straight to the VM without paying the lowering again.
+    pub lowered: CompiledProgram,
     /// Wall time of that compile (charged to every cell's `total_time`,
     /// mirroring what a per-cell recompile used to cost).
     pub compile_time: Duration,
@@ -121,6 +127,8 @@ pub struct PreparedBenchmark {
 }
 
 /// Compiles and runs a benchmark once, capturing the shared baseline.
+/// The baseline run itself executes on the register-bytecode VM (the two
+/// engines are counter-for-counter identical; see the differential test).
 ///
 /// # Panics
 ///
@@ -130,12 +138,14 @@ pub fn prepare(b: &Benchmark) -> PreparedBenchmark {
     let t0 = Instant::now();
     let checked = compile(&b.source).expect("benchmark compiles");
     let compile_time = t0.elapsed();
-    let naive = run(&checked, &harness_limits()).expect("benchmark runs");
+    let lowered = lower(&checked);
+    let naive = run_compiled(&lowered, &harness_limits()).expect("benchmark runs");
     assert!(naive.trap.is_none(), "{} trapped", b.name);
     let loops = loop_count(&checked);
     PreparedBenchmark {
         bench: b.clone(),
         checked,
+        lowered,
         compile_time,
         naive,
         loops,
@@ -147,7 +157,7 @@ pub fn prepare(b: &Benchmark) -> PreparedBenchmark {
 pub fn measure_prepared(pb: &PreparedBenchmark) -> ProgramMetrics {
     let unchecked =
         compile_with(&pb.bench.source, CheckInsertion::None).expect("benchmark compiles");
-    let ru = run(&unchecked, &harness_limits()).expect("benchmark runs");
+    let ru = run_compiled(&lower(&unchecked), &harness_limits()).expect("benchmark runs");
     ProgramMetrics {
         name: pb.bench.name,
         lines: pb
@@ -199,6 +209,7 @@ fn evaluate_compiled(
     compile_time: Duration,
     naive: &RunResult,
     opts: &OptimizeOptions,
+    engine: Engine,
 ) -> SchemeResult {
     let limits = harness_limits();
     let mut prog = checked.clone();
@@ -206,7 +217,7 @@ fn evaluate_compiled(
     let (_, timings) = optimize_program_timed(&mut prog, opts);
     let optimize_time = t1.elapsed();
     let total_time = compile_time + optimize_time;
-    let r = run(&prog, &limits).unwrap_or_else(|e| {
+    let r = run_with_engine(&prog, &limits, engine).unwrap_or_else(|e| {
         panic!("{name} under {opts:?}: {e}");
     });
     assert!(
@@ -241,13 +252,30 @@ pub fn evaluate(b: &Benchmark, naive: &RunResult, opts: &OptimizeOptions) -> Sch
     let t0 = Instant::now();
     let prog = compile(&b.source).expect("benchmark compiles");
     let compile_time = t0.elapsed();
-    evaluate_compiled(b.name, &prog, compile_time, naive, opts)
+    evaluate_compiled(b.name, &prog, compile_time, naive, opts, Engine::default())
 }
 
 /// [`evaluate`] against a prepared baseline: reuses the compiled program
 /// and the naive run instead of recompiling and re-running per cell.
+/// Executes on the register-bytecode VM ([`Engine::Vm`]).
 pub fn evaluate_prepared(pb: &PreparedBenchmark, opts: &OptimizeOptions) -> SchemeResult {
-    evaluate_compiled(pb.bench.name, &pb.checked, pb.compile_time, &pb.naive, opts)
+    evaluate_prepared_with(pb, opts, Engine::default())
+}
+
+/// [`evaluate_prepared`] on an explicit [`Engine`] (for tree-vs-VM A/B).
+pub fn evaluate_prepared_with(
+    pb: &PreparedBenchmark,
+    opts: &OptimizeOptions,
+    engine: Engine,
+) -> SchemeResult {
+    evaluate_compiled(
+        pb.bench.name,
+        &pb.checked,
+        pb.compile_time,
+        &pb.naive,
+        opts,
+        engine,
+    )
 }
 
 /// Optimizes a benchmark with the justification log enabled and
@@ -286,10 +314,10 @@ fn certify_compiled(name: &str, naive: &Program, opts: &OptimizeOptions) -> Cert
     cert
 }
 
-/// Runs the naive (unoptimized, checked) version of a benchmark.
+/// Runs the naive (unoptimized, checked) version of a benchmark on the VM.
 pub fn naive_run(b: &Benchmark) -> RunResult {
     let prog = compile(&b.source).expect("benchmark compiles");
-    run(&prog, &harness_limits()).expect("benchmark runs")
+    run_compiled(&lower(&prog), &harness_limits()).expect("benchmark runs")
 }
 
 /// One row of Table 2 / Table 3: a named configuration.
@@ -464,6 +492,17 @@ pub fn run_matrix(
     configs: &[Config],
     certify: bool,
 ) -> MatrixReport {
+    run_matrix_with(prepared, configs, certify, Engine::default())
+}
+
+/// [`run_matrix`] on an explicit [`Engine`] (for tree-vs-VM A/B runs; the
+/// check and guard counters of every cell are engine-invariant).
+pub fn run_matrix_with(
+    prepared: &[PreparedBenchmark],
+    configs: &[Config],
+    certify: bool,
+    engine: Engine,
+) -> MatrixReport {
     let pairs: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|c| (0..prepared.len()).map(move |b| (c, b)))
         .collect();
@@ -481,7 +520,7 @@ pub fn run_matrix(
                 let pb = &prepared[bench_index];
                 let cfg = &configs[config_index];
                 let cell0 = Instant::now();
-                let result = evaluate_prepared(pb, &cfg.opts);
+                let result = evaluate_prepared_with(pb, &cfg.opts, engine);
                 let certificate = certify.then(|| certify_prepared(pb, &cfg.opts));
                 *slots[i].lock().expect("slot lock") = Some(MatrixCell {
                     config_index,

@@ -47,7 +47,7 @@ pub fn eliminate_ctx(
     if u.is_empty() {
         return 0;
     }
-    let sol = solve(f, &Avail { u: &u });
+    let sol = solve(f, &Avail::new(f, &u));
     stats.dataflow_iterations += sol.iterations;
     let mut removed = 0;
     for b in f.block_ids().collect::<Vec<_>>() {

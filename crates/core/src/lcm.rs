@@ -33,7 +33,7 @@ use nascent_analysis::context::{Invalidation, PassContext};
 use nascent_analysis::dataflow::solve;
 use nascent_ir::{BlockId, Check, CheckExpr, Function, Stmt, Terminator};
 
-use crate::dataflow::{local_predicates, Antic, Avail};
+use crate::dataflow::{Antic, Avail, LocalPredicates};
 use crate::justify::{Event, JustLog};
 use crate::universe::Universe;
 use crate::util::BitSet;
@@ -87,10 +87,13 @@ pub fn insert_ctx(
     if u.is_empty() {
         return 0;
     }
-    let antic = solve(f, &Antic { u: &u });
-    let avail = solve(f, &Avail { u: &u });
+    let antic_p = Antic::new(f, &u);
+    let avail_p = Avail::new(f, &u);
+    let antic = solve(f, &antic_p);
+    let avail = solve(f, &avail_p);
     stats.dataflow_iterations += antic.iterations + avail.iterations;
-    let lp = local_predicates(f, &u);
+    // the local predicates fall out of the same block summaries
+    let lp = LocalPredicates::from_summaries(antic_p.summaries(), avail_p.summaries(), u.len());
     let n = u.len();
 
     // edge list

@@ -161,7 +161,7 @@ fn hoist_loop(
 
     // ---- candidates: unconditional checks anticipatable at body entry ----
     let u = Universe::build_ctx(f, ImplicationMode::All, ctx);
-    let antic = solve(f, &Antic { u: &u });
+    let antic = solve(f, &Antic::new(f, &u));
     let at_body = &antic.entry[body_entry.index()];
 
     // hoisting is only profitable for checks that actually occur inside

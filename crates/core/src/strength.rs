@@ -72,7 +72,7 @@ fn strengthen_round(
     if u.is_empty() {
         return 0;
     }
-    let sol = solve(f, &Antic { u: &u });
+    let sol = solve(f, &Antic::new(f, &u));
     stats.dataflow_iterations += sol.iterations;
     let mut changed = 0;
     for b in f.block_ids().collect::<Vec<_>>() {

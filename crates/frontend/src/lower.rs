@@ -71,7 +71,7 @@ fn err(line: u32, msg: impl Into<String>) -> CompileError {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum ParamSig {
     Scalar(Ty),
-    Array { rank: usize },
+    Array { rank: usize, ty: Ty },
 }
 
 fn param_sigs(u: &ast::Unit) -> Result<Vec<ParamSig>, CompileError> {
@@ -85,7 +85,10 @@ fn param_sigs(u: &ast::Unit) -> Result<Vec<ParamSig>, CompileError> {
                         continue 'params;
                     }
                     ast::DeclItem::Array(n, dims) if n == p => {
-                        sigs.push(ParamSig::Array { rank: dims.len() });
+                        sigs.push(ParamSig::Array {
+                            rank: dims.len(),
+                            ty: conv_ty(d.ty),
+                        });
                         continue 'params;
                     }
                     _ => {}
@@ -687,7 +690,7 @@ impl<'a> Lowerer<'a> {
                 let mut ir_args = Vec::with_capacity(args.len());
                 for (a, sig) in args.iter().zip(sigs.iter()) {
                     match sig {
-                        ParamSig::Array { rank } => match a {
+                        ParamSig::Array { rank, ty } => match a {
                             ast::Expr::Name(an) => {
                                 let arr = *self.arrays.get(an).ok_or_else(|| {
                                     err(*line, format!("argument `{an}` must be an array"))
@@ -696,6 +699,16 @@ impl<'a> Lowerer<'a> {
                                     return Err(err(
                                         *line,
                                         format!("array argument `{an}` has the wrong rank"),
+                                    ));
+                                }
+                                // arrays are passed by reference, so the
+                                // element types must match exactly (the
+                                // callee's loads and stores would otherwise
+                                // reinterpret the caller's storage)
+                                if self.func.arrays[arr.index()].ty != *ty {
+                                    return Err(err(
+                                        *line,
+                                        format!("array argument `{an}` has the wrong element type"),
                                     ));
                                 }
                                 ir_args.push(Arg::Array(arr));

@@ -29,6 +29,55 @@
 //! assert!(r.trap.is_none());
 //! ```
 
+pub mod bytecode;
 pub mod machine;
+pub mod vm;
 
+pub use bytecode::{lower, CompiledProgram};
 pub use machine::{run, run_traced, Limits, RunError, RunResult, TraceEvent, Trap, Value};
+pub use vm::run_compiled;
+
+/// Which execution engine to use for dynamic-count measurement.
+///
+/// Both engines implement the same observable semantics (outputs, dynamic
+/// instruction/check/guard counters, trap behavior); [`Engine::Vm`] lowers
+/// the program to register bytecode once and dispatches a flat instruction
+/// stream, which is substantially faster for the measurement harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The original tree-walking interpreter ([`machine::run`]).
+    Tree,
+    /// The register-bytecode VM ([`vm::run_compiled`] over [`bytecode::lower`]).
+    #[default]
+    Vm,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tree" => Ok(Engine::Tree),
+            "vm" => Ok(Engine::Vm),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `tree` or `vm`)"
+            )),
+        }
+    }
+}
+
+/// Run `prog` under the selected [`Engine`].
+///
+/// Equivalent to [`run`] for [`Engine::Tree`]; for [`Engine::Vm`] the program
+/// is lowered with [`lower`] and executed with [`run_compiled`]. Callers that
+/// execute the same program many times should lower once and call
+/// [`run_compiled`] directly to amortize the lowering cost.
+pub fn run_with_engine(
+    prog: &nascent_ir::Program,
+    limits: &Limits,
+    engine: Engine,
+) -> Result<RunResult, RunError> {
+    match engine {
+        Engine::Tree => run(prog, limits),
+        Engine::Vm => run_compiled(&lower(prog), limits),
+    }
+}

@@ -33,14 +33,16 @@ impl Value {
         }
     }
 
-    fn zero(ty: Ty) -> Value {
+    /// The zero value of a scalar type.
+    pub fn zero(ty: Ty) -> Value {
         match ty {
             Ty::Int => Value::Int(0),
             Ty::Real => Value::Real(0.0),
         }
     }
 
-    fn coerce(self, ty: Ty) -> Value {
+    /// Coerces the value to a scalar type (Fortran assignment conversion).
+    pub fn coerce(self, ty: Ty) -> Value {
         match ty {
             Ty::Int => Value::Int(self.as_int()),
             Ty::Real => Value::Real(self.as_real()),
@@ -493,9 +495,13 @@ impl<'a> Machine<'a> {
     }
 
     fn eval(&self, f: &nascent_ir::Function, frame: &Frame, e: &Expr) -> Result<Value, RunError> {
-        self.eval_pure(frame, e).ok_or(RunError::DivisionByZero {
-            function: f.name.clone(),
-        })
+        // `ok_or_else`, not `ok_or`: this is the interpreter's hottest
+        // path, and the eager variant would clone the function name on
+        // every single expression evaluation just to throw it away.
+        self.eval_pure(frame, e)
+            .ok_or_else(|| RunError::DivisionByZero {
+                function: f.name.clone(),
+            })
     }
 
     /// Computes the row-major offset of an element, reporting an
@@ -533,7 +539,7 @@ enum CallArg {
     Array(usize),
 }
 
-fn apply_unop(op: UnOp, v: Value) -> Value {
+pub(crate) fn apply_unop(op: UnOp, v: Value) -> Value {
     match (op, v) {
         (UnOp::Neg, Value::Int(v)) => Value::Int(v.wrapping_neg()),
         (UnOp::Neg, Value::Real(v)) => Value::Real(-v),
@@ -541,7 +547,7 @@ fn apply_unop(op: UnOp, v: Value) -> Value {
     }
 }
 
-fn apply_binop(op: BinOp, l: Value, r: Value) -> Option<Value> {
+pub(crate) fn apply_binop(op: BinOp, l: Value, r: Value) -> Option<Value> {
     use Value::{Int, Real};
     let real = matches!(l, Real(_)) || matches!(r, Real(_));
     if real {

@@ -310,6 +310,10 @@ impl Expr {
 
 /// Evaluates an integer binary operation, returning `None` on division or
 /// remainder by zero (and on `Min`/`Max` never — those always succeed).
+///
+/// `#[inline]` so both execution engines can fold it into their dispatch
+/// loops across the crate boundary.
+#[inline]
 pub fn eval_int_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
     Some(match op {
         BinOp::Add => a.wrapping_add(b),

@@ -225,8 +225,10 @@ pub fn certify_function(
     let mut ref_ctx = PassContext::new();
     let mut opt_ctx = PassContext::new();
     let u = Universe::build_with_extra_ctx(reference, opts.implications, &extra, &mut ref_ctx);
-    let ref_antic = solve(reference, &Antic { u: &u });
-    let opt_avail = solve(optimized, &Avail { u: &u });
+    // summaries are per-(function, universe): Antic is summarized over the
+    // reference CFG, Avail over the optimized one, sharing the universe
+    let ref_antic = solve(reference, &Antic::new(reference, &u));
+    let opt_avail = solve(optimized, &Avail::new(optimized, &u));
 
     let ctx = Ctx {
         ref_f: reference,

@@ -17,6 +17,9 @@
 //!   --inx                                   use induction-expression checks
 //!   --implications all|cross|none           implication ablation
 //!   --no-opt                                keep the naive checks
+//!   --engine tree|vm                        (run/compare) execution engine
+//!                                           (default vm); counters are
+//!                                           engine-invariant
 //!   --certify                               (stats/report) also run the
 //!                                           static certifier on the result
 //!   --timings                               (stats) per-analysis/per-pass
@@ -30,7 +33,7 @@
 use std::process::ExitCode;
 
 use nascent::frontend::compile;
-use nascent::interp::{run, Limits};
+use nascent::interp::{run_with_engine, Engine, Limits};
 use nascent::ir::pretty::DisplayProgram;
 use nascent::rangecheck::{
     optimize_program, optimize_program_logged_timed, CheckKind, ImplicationMode, JustLog,
@@ -55,6 +58,7 @@ struct Options {
     classic: bool,
     certify: bool,
     timings: bool,
+    engine: Engine,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -63,6 +67,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut classic = false;
     let mut certify = false;
     let mut timings = false;
+    let mut engine = Engine::default();
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -96,6 +101,11 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
             "--classic" => classic = true,
             "--certify" => certify = true,
             "--timings" => timings = true,
+            "--engine" => {
+                i += 1;
+                let name = rest.get(i).ok_or("--engine needs a value")?;
+                engine = name.parse::<Engine>()?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -106,6 +116,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         classic,
         certify,
         timings,
+        engine,
     })
 }
 
@@ -188,7 +199,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
             apply(&options, &mut prog);
-            let r = run(&prog, &Limits::default()).map_err(|e| e.to_string())?;
+            let r = run_with_engine(&prog, &Limits::default(), options.engine)
+                .map_err(|e| e.to_string())?;
             for v in &r.output {
                 println!("{v}");
             }
@@ -275,8 +287,10 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             render_certificate(&cert)
         }
         "compare" => {
+            let options = parse_options(rest)?;
             let naive_prog = load(file)?;
-            let naive = run(&naive_prog, &Limits::default()).map_err(|e| e.to_string())?;
+            let naive = run_with_engine(&naive_prog, &Limits::default(), options.engine)
+                .map_err(|e| e.to_string())?;
             println!(
                 "naive: {} dynamic checks / {} instructions",
                 naive.dynamic_checks, naive.dynamic_instructions
@@ -285,7 +299,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             for scheme in Scheme::EACH.into_iter().chain([Scheme::Mcm]) {
                 let mut prog = load(file)?;
                 optimize_program(&mut prog, &OptimizeOptions::scheme(scheme));
-                let r = run(&prog, &Limits::default()).map_err(|e| e.to_string())?;
+                let r = run_with_engine(&prog, &Limits::default(), options.engine)
+                    .map_err(|e| e.to_string())?;
                 let pct =
                     100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);
                 println!(

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-32e96ca951856682.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-32e96ca951856682: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

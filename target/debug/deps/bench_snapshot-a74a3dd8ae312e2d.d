@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-a74a3dd8ae312e2d.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-a74a3dd8ae312e2d: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-ff82c35d5148d543.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-ff82c35d5148d543: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-07fe27d864a2d1af.d: crates/interp/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-07fe27d864a2d1af: crates/interp/tests/determinism.rs
+
+crates/interp/tests/determinism.rs:

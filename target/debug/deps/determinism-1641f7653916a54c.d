@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-1641f7653916a54c.d: crates/interp/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-1641f7653916a54c.rmeta: crates/interp/tests/determinism.rs Cargo.toml
+
+crates/interp/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-fcbc3a6effef3e23.d: crates/bench/benches/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-fcbc3a6effef3e23.rmeta: crates/bench/benches/engines.rs Cargo.toml
+
+crates/bench/benches/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nascent_interp-82bd39d5db9d2fa8.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
+
+/root/repo/target/debug/deps/nascent_interp-82bd39d5db9d2fa8: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:

@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/nascent_interp-e4eb2e5c90cead4c.d: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/debug/deps/nascent_interp-e4eb2e5c90cead4c.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
-/root/repo/target/debug/deps/libnascent_interp-e4eb2e5c90cead4c.rlib: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/debug/deps/libnascent_interp-e4eb2e5c90cead4c.rlib: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
-/root/repo/target/debug/deps/libnascent_interp-e4eb2e5c90cead4c.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/debug/deps/libnascent_interp-e4eb2e5c90cead4c.rmeta: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
 crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
 crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:

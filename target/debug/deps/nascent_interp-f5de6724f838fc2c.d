@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nascent_interp-f5de6724f838fc2c.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_interp-f5de6724f838fc2c.rmeta: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,8 @@
-/root/repo/target/debug/deps/nascent_interp-fe27f5b3d71a519e.d: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/debug/deps/nascent_interp-fe27f5b3d71a519e.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
-/root/repo/target/debug/deps/nascent_interp-fe27f5b3d71a519e: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/debug/deps/nascent_interp-fe27f5b3d71a519e: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
 crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
 crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:

@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/nascent_interp-fec28f1d8552b998.d: crates/interp/src/lib.rs crates/interp/src/machine.rs Cargo.toml
+/root/repo/target/debug/deps/nascent_interp-fec28f1d8552b998.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnascent_interp-fec28f1d8552b998.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs Cargo.toml
+/root/repo/target/debug/deps/libnascent_interp-fec28f1d8552b998.rmeta: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs Cargo.toml
 
 crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
 crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

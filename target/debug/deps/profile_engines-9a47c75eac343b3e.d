@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_engines-9a47c75eac343b3e.d: crates/bench/src/bin/profile_engines.rs
+
+/root/repo/target/debug/deps/profile_engines-9a47c75eac343b3e: crates/bench/src/bin/profile_engines.rs
+
+crates/bench/src/bin/profile_engines.rs:

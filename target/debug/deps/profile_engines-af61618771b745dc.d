@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_engines-af61618771b745dc.d: crates/bench/src/bin/profile_engines.rs
+
+/root/repo/target/debug/deps/profile_engines-af61618771b745dc: crates/bench/src/bin/profile_engines.rs
+
+crates/bench/src/bin/profile_engines.rs:

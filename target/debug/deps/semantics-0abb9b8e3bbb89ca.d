@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-0abb9b8e3bbb89ca.d: crates/interp/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-0abb9b8e3bbb89ca: crates/interp/tests/semantics.rs
+
+crates/interp/tests/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-5e73fbedcaa4a74c.d: crates/interp/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-5e73fbedcaa4a74c.rmeta: crates/interp/tests/semantics.rs Cargo.toml
+
+crates/interp/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-a10f721037d94a84.d: crates/interp/tests/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-a10f721037d94a84.rmeta: crates/interp/tests/trace.rs Cargo.toml
+
+crates/interp/tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-f35ffd663bf1fa82.d: crates/interp/tests/trace.rs
+
+/root/repo/target/debug/deps/trace-f35ffd663bf1fa82: crates/interp/tests/trace.rs
+
+crates/interp/tests/trace.rs:

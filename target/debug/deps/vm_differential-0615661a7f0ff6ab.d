@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_differential-0615661a7f0ff6ab.d: crates/interp/tests/vm_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_differential-0615661a7f0ff6ab.rmeta: crates/interp/tests/vm_differential.rs Cargo.toml
+
+crates/interp/tests/vm_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_differential-db9cc941647e8e57.d: crates/interp/tests/vm_differential.rs
+
+/root/repo/target/debug/deps/vm_differential-db9cc941647e8e57: crates/interp/tests/vm_differential.rs
+
+crates/interp/tests/vm_differential.rs:

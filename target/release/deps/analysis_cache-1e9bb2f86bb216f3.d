@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_cache-1e9bb2f86bb216f3.d: crates/bench/benches/analysis_cache.rs
+
+/root/repo/target/release/deps/analysis_cache-1e9bb2f86bb216f3: crates/bench/benches/analysis_cache.rs
+
+crates/bench/benches/analysis_cache.rs:

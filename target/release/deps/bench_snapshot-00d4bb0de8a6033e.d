@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-00d4bb0de8a6033e.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-00d4bb0de8a6033e: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

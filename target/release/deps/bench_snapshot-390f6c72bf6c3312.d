@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-390f6c72bf6c3312.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-390f6c72bf6c3312: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

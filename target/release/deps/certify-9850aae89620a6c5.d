@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/certify-9850aae89620a6c5.d: crates/verify/tests/certify.rs
+
+/root/repo/target/release/deps/certify-9850aae89620a6c5: crates/verify/tests/certify.rs
+
+crates/verify/tests/certify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cfg_shapes-3e5291f4cae0cc8c.d: crates/analysis/tests/cfg_shapes.rs
+
+/root/repo/target/release/deps/cfg_shapes-3e5291f4cae0cc8c: crates/analysis/tests/cfg_shapes.rs
+
+crates/analysis/tests/cfg_shapes.rs:

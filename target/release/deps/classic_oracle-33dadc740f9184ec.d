@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/classic_oracle-33dadc740f9184ec.d: crates/classic/tests/classic_oracle.rs
+
+/root/repo/target/release/deps/classic_oracle-33dadc740f9184ec: crates/classic/tests/classic_oracle.rs
+
+crates/classic/tests/classic_oracle.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-d6c0c5f68b845ec4.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-d6c0c5f68b845ec4: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_nascentc=/root/repo/target/release/nascentc

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/context-be2d99b12f800139.d: crates/analysis/tests/context.rs
+
+/root/repo/target/release/deps/context-be2d99b12f800139: crates/analysis/tests/context.rs
+
+crates/analysis/tests/context.rs:

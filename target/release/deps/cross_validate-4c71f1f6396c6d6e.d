@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_validate-4c71f1f6396c6d6e.d: crates/cback/tests/cross_validate.rs
+
+/root/repo/target/release/deps/cross_validate-4c71f1f6396c6d6e: crates/cback/tests/cross_validate.rs
+
+crates/cback/tests/cross_validate.rs:

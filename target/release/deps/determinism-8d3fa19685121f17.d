@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-8d3fa19685121f17.d: crates/interp/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-8d3fa19685121f17: crates/interp/tests/determinism.rs
+
+crates/interp/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dump_suite-0311d8f83d360b05.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/release/deps/dump_suite-0311d8f83d360b05: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines-3fb48855cca0328c.d: crates/bench/benches/engines.rs
+
+/root/repo/target/release/deps/engines-3fb48855cca0328c: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines-b39fe162a9fc1f5e.d: crates/bench/benches/engines.rs
+
+/root/repo/target/release/deps/engines-b39fe162a9fc1f5e: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-4858fa142c1b3fd2.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-4858fa142c1b3fd2: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

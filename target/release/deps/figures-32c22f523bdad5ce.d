@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-32c22f523bdad5ce.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-32c22f523bdad5ce: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-fa911fa07fffad7c.d: tests/figures.rs
+
+/root/repo/target/release/deps/figures-fa911fa07fffad7c: tests/figures.rs
+
+tests/figures.rs:

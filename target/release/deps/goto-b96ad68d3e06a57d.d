@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/goto-b96ad68d3e06a57d.d: crates/frontend/tests/goto.rs
+
+/root/repo/target/release/deps/goto-b96ad68d3e06a57d: crates/frontend/tests/goto.rs
+
+crates/frontend/tests/goto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lcm_predicates-1636f90dc54ce52b.d: crates/core/tests/lcm_predicates.rs
+
+/root/repo/target/release/deps/lcm_predicates-1636f90dc54ce52b: crates/core/tests/lcm_predicates.rs
+
+crates/core/tests/lcm_predicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/linform_props-ff97b365bacf307c.d: crates/ir/tests/linform_props.rs
+
+/root/repo/target/release/deps/linform_props-ff97b365bacf307c: crates/ir/tests/linform_props.rs
+
+crates/ir/tests/linform_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loop_control-d4a86b4ae92956f3.d: crates/frontend/tests/loop_control.rs
+
+/root/repo/target/release/deps/loop_control-d4a86b4ae92956f3: crates/frontend/tests/loop_control.rs
+
+crates/frontend/tests/loop_control.rs:

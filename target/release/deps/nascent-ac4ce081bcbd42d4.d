@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nascent-ac4ce081bcbd42d4.d: src/lib.rs
+
+/root/repo/target/release/deps/nascent-ac4ce081bcbd42d4: src/lib.rs
+
+src/lib.rs:

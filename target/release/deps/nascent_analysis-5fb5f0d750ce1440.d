@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nascent_analysis-5fb5f0d750ce1440.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+
+/root/repo/target/release/deps/nascent_analysis-5fb5f0d750ce1440: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/induction.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/reach.rs:
+crates/analysis/src/ssa.rs:

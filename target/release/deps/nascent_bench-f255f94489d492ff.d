@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nascent_bench-f255f94489d492ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/nascent_bench-f255f94489d492ff: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

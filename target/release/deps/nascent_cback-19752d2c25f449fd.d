@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/nascent_cback-19752d2c25f449fd.d: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+/root/repo/target/release/deps/nascent_cback-19752d2c25f449fd: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+crates/cback/src/lib.rs:
+crates/cback/src/runner.rs:

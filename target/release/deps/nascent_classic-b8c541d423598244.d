@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nascent_classic-b8c541d423598244.d: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+/root/repo/target/release/deps/nascent_classic-b8c541d423598244: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/cfg.rs:
+crates/classic/src/dce.rs:
+crates/classic/src/valueprop.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nascent_frontend-9a4bf399dd05ef82.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/release/deps/nascent_frontend-9a4bf399dd05ef82: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/error.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/error.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:

@@ -1,8 +1,10 @@
-/root/repo/target/release/deps/nascent_interp-9722fd865ffb991d.d: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/release/deps/nascent_interp-9722fd865ffb991d.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
-/root/repo/target/release/deps/libnascent_interp-9722fd865ffb991d.rlib: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/release/deps/libnascent_interp-9722fd865ffb991d.rlib: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
-/root/repo/target/release/deps/libnascent_interp-9722fd865ffb991d.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs
+/root/repo/target/release/deps/libnascent_interp-9722fd865ffb991d.rmeta: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
 
 crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
 crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:

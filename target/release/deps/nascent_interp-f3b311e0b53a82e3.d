@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nascent_interp-f3b311e0b53a82e3.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs crates/interp/src/vmstats.rs
+
+/root/repo/target/release/deps/nascent_interp-f3b311e0b53a82e3: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs crates/interp/src/vmstats.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:
+crates/interp/src/vmstats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nascent_ir-76545409547f8a07.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/check.rs crates/ir/src/expr.rs crates/ir/src/linform.rs crates/ir/src/pretty.rs crates/ir/src/stmt.rs crates/ir/src/validate.rs
+
+/root/repo/target/release/deps/nascent_ir-76545409547f8a07: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/check.rs crates/ir/src/expr.rs crates/ir/src/linform.rs crates/ir/src/pretty.rs crates/ir/src/stmt.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/check.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/linform.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/stmt.rs:
+crates/ir/src/validate.rs:

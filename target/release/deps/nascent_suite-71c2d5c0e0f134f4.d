@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nascent_suite-71c2d5c0e0f134f4.d: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+/root/repo/target/release/deps/nascent_suite-71c2d5c0e0f134f4: crates/suite/src/lib.rs crates/suite/src/generator.rs crates/suite/src/programs.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/generator.rs:
+crates/suite/src/programs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nascent_verify-cb11c748826081fd.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/release/deps/nascent_verify-cb11c748826081fd: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nascentc-e5e8af62ff6a5491.d: src/bin/nascentc.rs
+
+/root/repo/target/release/deps/nascentc-e5e8af62ff6a5491: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle-884b0ae854580d29.d: tests/oracle.rs
+
+/root/repo/target/release/deps/oracle-884b0ae854580d29: tests/oracle.rs
+
+tests/oracle.rs:

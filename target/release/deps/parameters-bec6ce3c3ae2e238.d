@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parameters-bec6ce3c3ae2e238.d: crates/frontend/tests/parameters.rs
+
+/root/repo/target/release/deps/parameters-bec6ce3c3ae2e238: crates/frontend/tests/parameters.rs
+
+crates/frontend/tests/parameters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pass_context-13f26f79ce0b4740.d: crates/core/tests/pass_context.rs
+
+/root/repo/target/release/deps/pass_context-13f26f79ce0b4740: crates/core/tests/pass_context.rs
+
+crates/core/tests/pass_context.rs:

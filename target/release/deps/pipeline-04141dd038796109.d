@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-04141dd038796109.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-04141dd038796109: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

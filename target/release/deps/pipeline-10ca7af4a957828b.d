@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-10ca7af4a957828b.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-10ca7af4a957828b: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_engines-0f9a48255f99b084.d: crates/bench/src/bin/profile_engines.rs
+
+/root/repo/target/release/deps/profile_engines-0f9a48255f99b084: crates/bench/src/bin/profile_engines.rs
+
+crates/bench/src/bin/profile_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_engines-2761b8b8b0621fe4.d: crates/bench/src/bin/profile_engines.rs
+
+/root/repo/target/release/deps/profile_engines-2761b8b8b0621fe4: crates/bench/src/bin/profile_engines.rs
+
+crates/bench/src/bin/profile_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-1433f28c0fba1032.d: crates/frontend/tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-1433f28c0fba1032: crates/frontend/tests/robustness.rs
+
+crates/frontend/tests/robustness.rs:

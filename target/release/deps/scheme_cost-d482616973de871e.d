@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme_cost-d482616973de871e.d: crates/bench/benches/scheme_cost.rs
+
+/root/repo/target/release/deps/scheme_cost-d482616973de871e: crates/bench/benches/scheme_cost.rs
+
+crates/bench/benches/scheme_cost.rs:

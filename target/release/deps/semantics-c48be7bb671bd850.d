@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semantics-c48be7bb671bd850.d: crates/interp/tests/semantics.rs
+
+/root/repo/target/release/deps/semantics-c48be7bb671bd850: crates/interp/tests/semantics.rs
+
+crates/interp/tests/semantics.rs:

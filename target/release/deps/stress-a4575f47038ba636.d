@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-a4575f47038ba636.d: crates/core/tests/stress.rs
+
+/root/repo/target/release/deps/stress-a4575f47038ba636: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

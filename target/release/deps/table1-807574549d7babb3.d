@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-807574549d7babb3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-807574549d7babb3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-6b9b08fb9e5db74c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-6b9b08fb9e5db74c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-0130bdb2089b40b1.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-0130bdb2089b40b1: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

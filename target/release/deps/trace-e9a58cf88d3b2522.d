@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace-e9a58cf88d3b2522.d: crates/interp/tests/trace.rs
+
+/root/repo/target/release/deps/trace-e9a58cf88d3b2522: crates/interp/tests/trace.rs
+
+crates/interp/tests/trace.rs:

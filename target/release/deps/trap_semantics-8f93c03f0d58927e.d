@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trap_semantics-8f93c03f0d58927e.d: tests/trap_semantics.rs
+
+/root/repo/target/release/deps/trap_semantics-8f93c03f0d58927e: tests/trap_semantics.rs
+
+tests/trap_semantics.rs:

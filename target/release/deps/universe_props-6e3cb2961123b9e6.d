@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/universe_props-6e3cb2961123b9e6.d: crates/core/tests/universe_props.rs
+
+/root/repo/target/release/deps/universe_props-6e3cb2961123b9e6: crates/core/tests/universe_props.rs
+
+crates/core/tests/universe_props.rs:

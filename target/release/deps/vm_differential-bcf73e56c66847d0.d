@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_differential-bcf73e56c66847d0.d: crates/interp/tests/vm_differential.rs
+
+/root/repo/target/release/deps/vm_differential-bcf73e56c66847d0: crates/interp/tests/vm_differential.rs
+
+crates/interp/tests/vm_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/c_backend-8444afe105567ed0.d: examples/c_backend.rs
+
+/root/repo/target/release/examples/c_backend-8444afe105567ed0: examples/c_backend.rs
+
+examples/c_backend.rs:

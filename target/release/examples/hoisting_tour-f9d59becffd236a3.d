@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hoisting_tour-f9d59becffd236a3.d: examples/hoisting_tour.rs
+
+/root/repo/target/release/examples/hoisting_tour-f9d59becffd236a3: examples/hoisting_tour.rs
+
+examples/hoisting_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/induction_analysis-c239230ab1d0f43c.d: examples/induction_analysis.rs
+
+/root/repo/target/release/examples/induction_analysis-c239230ab1d0f43c: examples/induction_analysis.rs
+
+examples/induction_analysis.rs:

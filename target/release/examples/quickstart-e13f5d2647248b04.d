@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e13f5d2647248b04.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e13f5d2647248b04: examples/quickstart.rs
+
+examples/quickstart.rs:

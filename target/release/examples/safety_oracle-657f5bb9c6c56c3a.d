@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/safety_oracle-657f5bb9c6c56c3a.d: examples/safety_oracle.rs
+
+/root/repo/target/release/examples/safety_oracle-657f5bb9c6c56c3a: examples/safety_oracle.rs
+
+examples/safety_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scheme_comparison-5c36688fddfa5a4f.d: examples/scheme_comparison.rs
+
+/root/repo/target/release/examples/scheme_comparison-5c36688fddfa5a4f: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:
