@@ -203,6 +203,7 @@ struct AnalysisCache {
     ssa: Option<Arc<Ssa>>,
     udefs: Option<Arc<UniqueDefs>>,
     induction: Option<Arc<InductionClasses>>,
+    vra: Option<Arc<crate::vra::Vra>>,
 }
 
 impl AnalysisCache {
@@ -210,6 +211,8 @@ impl AnalysisCache {
         self.ssa = None;
         self.udefs = None;
         self.induction = None;
+        // check/trap edits change the facts assumed at each point
+        self.vra = None;
     }
 
     fn clear_all(&mut self) {
@@ -346,6 +349,22 @@ impl PassContext {
         self.timings.record_compute("induction", t.elapsed());
         self.cache.induction = Some(Arc::clone(&i));
         i
+    }
+
+    /// Value-range analysis of `f` (reuses the cached loop forest).
+    /// Statement-tier: any check/trap edit drops it.
+    pub fn vra(&mut self, f: &Function) -> Arc<crate::vra::Vra> {
+        self.validate(f);
+        if let Some(v) = &self.cache.vra {
+            self.timings.record_hit("vra");
+            return Arc::clone(v);
+        }
+        let forest = self.loop_forest(f);
+        let t = Instant::now();
+        let v = Arc::new(crate::vra::analyze_with_forest(f, &forest));
+        self.timings.record_compute("vra", t.elapsed());
+        self.cache.vra = Some(Arc::clone(&v));
+        v
     }
 
     /// Declares that a transformation ran, dropping the corresponding

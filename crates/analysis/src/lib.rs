@@ -15,7 +15,11 @@
 //!   renaming) kept as a side structure over the unchanged IR,
 //! * [`induction`] — SSA-based induction-variable classification
 //!   (invariant / basic / linear / polynomial, Gerlek–Stoltz–Wolfe style),
-//!   reproducing the paper's Figure 2.
+//!   reproducing the paper's Figure 2,
+//! * [`vra`] — symbolic value-range analysis (intervals + symbolic
+//!   bounds + per-array range summaries) backing the static-discharge
+//!   tier; the certifier keeps its own independent twin in
+//!   `nascent-verify`.
 
 pub mod context;
 pub mod dataflow;
@@ -24,6 +28,7 @@ pub mod induction;
 pub mod loops;
 pub mod reach;
 pub mod ssa;
+pub mod vra;
 
 pub use context::{
     cfg_fingerprint, AnalysisStat, InductionClasses, Invalidation, PassContext, PassStat, Timings,

@@ -9,7 +9,10 @@
 //! * `--timings` — per-analysis/per-pass wall-time decomposition plus
 //!   the parallel-harness accounting (stable `timings-format 1` block),
 //! * `--certify` — re-validate the **full** scheme × kind ×
-//!   implication-mode matrix with the static certifier.
+//!   implication-mode matrix with the static certifier,
+//! * `--discharge on|off` — run the static-discharge tier before every
+//!   scheme; the table gains a discharge-rate section and `--certify`
+//!   additionally re-proves every logged deletion.
 //!
 //! Each benchmark is compiled and its naive baseline run exactly once;
 //! the configuration × program matrix is then fanned out across worker
@@ -21,7 +24,7 @@ use nascent_bench::{
     certify_prepared, format_table, full_matrix_configs, prepare, run_matrix, table2_configs,
     Config,
 };
-use nascent_rangecheck::{CheckKind, OptimizeOptions, Scheme};
+use nascent_rangecheck::{CheckKind, Discharge, OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
 
 fn main() {
@@ -33,6 +36,17 @@ fn main() {
     };
     let timings = args.iter().any(|a| a == "--timings");
     let certify = args.iter().any(|a| a == "--certify");
+    let discharge = match args.iter().position(|a| a == "--discharge") {
+        None => Discharge::Off,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("on") => Discharge::On,
+            Some("off") => Discharge::Off,
+            other => {
+                eprintln!("table2: --discharge needs `on` or `off`, got {other:?}");
+                std::process::exit(2);
+            }
+        },
+    };
     let benches = suite(scale);
     let prepared: Vec<_> = benches.iter().map(prepare).collect();
 
@@ -41,11 +55,12 @@ fn main() {
     let mut kind_labels: Vec<&'static str> = Vec::new();
     let mut configs: Vec<Config> = Vec::new();
     for kind in [CheckKind::Prx, CheckKind::Inx] {
-        for cfg in table2_configs(kind) {
+        for mut cfg in table2_configs(kind) {
             kind_labels.push(match kind {
                 CheckKind::Prx => "PRX",
                 CheckKind::Inx => "INX",
             });
+            cfg.opts = cfg.opts.with_discharge(discharge);
             configs.push(cfg);
         }
     }
@@ -85,15 +100,56 @@ fn main() {
         print!("{}", report.timings_report());
     }
 
+    if discharge == Discharge::On {
+        // Static-discharge rate per table row: checks the value-range
+        // tier deleted outright, as a fraction of the naive placement.
+        let disch_headers: Vec<String> = ["", "scheme", "static", "discharged", "rate-%"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let mut disch_rows = Vec::new();
+        for (ci, cfg) in configs.iter().enumerate() {
+            let mut static_before = 0usize;
+            let mut discharged = 0usize;
+            for bi in 0..prepared.len() {
+                let s = &report.cell(ci, bi).result.stats;
+                static_before += s.static_before;
+                discharged += s.discharged;
+            }
+            disch_rows.push(vec![
+                kind_labels[ci].to_string(),
+                cfg.label.to_string(),
+                static_before.to_string(),
+                discharged.to_string(),
+                format!(
+                    "{:.1}",
+                    100.0 * discharged as f64 / static_before.max(1) as f64
+                ),
+            ]);
+        }
+        println!("\nStatic-discharge rate (optimizer value-range tier, per scheme):\n");
+        println!("{}", format_table(&disch_headers, &disch_rows));
+    }
+
     if certify {
-        let full = full_matrix_configs();
+        let full: Vec<Config> = full_matrix_configs()
+            .into_iter()
+            .map(|mut cfg| {
+                cfg.opts = cfg.opts.with_discharge(discharge);
+                cfg
+            })
+            .collect();
         let cert_report = run_matrix(&prepared, &full, true);
         let mut obligations = 0usize;
         let mut failed = 0usize;
+        let mut discharge_events = 0usize;
+        let mut discharge_rejected = 0usize;
         for cell in &cert_report.cells {
             let cert = cell.certificate.as_ref().expect("certified cell");
             obligations += cert.obligations;
             failed += cert.diagnostics.len();
+            discharge_events += cert.discharge_events;
+            discharge_rejected += cert.discharge_rejected;
         }
         println!(
             "\nFull-matrix certification: {} configs x {} programs = {} cells, {} obligations, {} uncovered",
@@ -103,7 +159,16 @@ fn main() {
             obligations,
             failed
         );
+        if discharge == Discharge::On {
+            println!(
+                "Discharge re-proof: {discharge_events} deletion events, {discharge_rejected} rejected"
+            );
+        }
         assert_eq!(failed, 0, "uncovered obligations in the full matrix");
+        assert_eq!(
+            discharge_rejected, 0,
+            "rejected discharge events in the full matrix"
+        );
         if timings {
             println!(
                 "certification harness threads={} wall_ms={:.1}",

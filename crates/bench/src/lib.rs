@@ -31,7 +31,7 @@ use nascent_interp::{
 use nascent_ir::{Program, Stmt};
 use nascent_rangecheck::{
     optimize_program_logged, optimize_program_timed, CheckKind, ImplicationMode, OptimizeOptions,
-    Scheme, Timings,
+    OptimizeStats, Scheme, Timings,
 };
 use nascent_suite::Benchmark;
 use nascent_verify::{certify_program, Certificate};
@@ -201,6 +201,9 @@ pub struct SchemeResult {
     /// Per-analysis and per-pass wall times from the optimizer's
     /// [`PassContext`]s.
     pub timings: Timings,
+    /// Optimizer statistics (static counts: discharged, hoisted, …),
+    /// summed across all functions.
+    pub stats: OptimizeStats,
 }
 
 fn evaluate_compiled(
@@ -214,7 +217,7 @@ fn evaluate_compiled(
     let limits = harness_limits();
     let mut prog = checked.clone();
     let t1 = Instant::now();
-    let (_, timings) = optimize_program_timed(&mut prog, opts);
+    let (stats, timings) = optimize_program_timed(&mut prog, opts);
     let optimize_time = t1.elapsed();
     let total_time = compile_time + optimize_time;
     let r = run_with_engine(&prog, &limits, engine).unwrap_or_else(|e| {
@@ -237,6 +240,7 @@ fn evaluate_compiled(
         optimize_time,
         total_time,
         timings,
+        stats,
     }
 }
 

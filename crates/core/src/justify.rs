@@ -91,6 +91,30 @@ pub enum Event {
         /// The condition proven false.
         check: CheckExpr,
     },
+    /// The static-discharge pre-pass deleted an unconditional check the
+    /// value-range analysis proved always true at its site. The verifier
+    /// re-proves the verdict with its *own* value-range analysis; the
+    /// recorded reason is advisory.
+    Discharged {
+        /// Block the check was deleted from.
+        block: BlockId,
+        /// The deleted check's condition.
+        check: CheckExpr,
+        /// Why the optimizer's analysis believed the check safe.
+        reason: DischargeReason,
+    },
+}
+
+/// Why the optimizer's value-range analysis discharged a check. Advisory
+/// (untrusted): the certifier re-derives the verdict from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DischargeReason {
+    /// The check site is statically unreachable.
+    Unreachable,
+    /// The check's condition folds to a true constant.
+    Constant,
+    /// Interval/symbolic range facts prove the condition.
+    Range,
 }
 
 /// The justification log of one function's optimization run.
@@ -146,7 +170,8 @@ impl JustLog {
                 }
                 Event::Inserted { check, .. }
                 | Event::FoldedTrue { check, .. }
-                | Event::FoldedFalse { check, .. } => out.push(check.clone()),
+                | Event::FoldedFalse { check, .. }
+                | Event::Discharged { check, .. } => out.push(check.clone()),
             }
         }
         out

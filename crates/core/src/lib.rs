@@ -36,6 +36,7 @@
 
 pub mod cig;
 pub mod dataflow;
+pub mod discharge;
 pub mod elim;
 pub mod fold;
 pub mod inx;
@@ -51,7 +52,7 @@ pub mod util;
 use nascent_ir::{Function, Program};
 
 pub use cig::{Cig, FamilyId};
-pub use justify::{Event, JustLog};
+pub use justify::{DischargeReason, Event, JustLog};
 pub use nascent_analysis::context::{Invalidation, PassContext, Timings};
 pub use universe::Universe;
 
@@ -130,6 +131,21 @@ pub enum ImplicationMode {
     None,
 }
 
+/// Whether the static-discharge pre-pass runs before placement
+/// (`--discharge {on,off}`). Off by default: the paper's tables measure
+/// the placement schemes alone; the discharge tier is this codebase's
+/// extension on top of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Discharge {
+    /// Delete checks the value-range analysis proves safe, before any
+    /// scheme runs. Every deletion is logged and independently
+    /// re-proved by the certifier.
+    On,
+    /// Leave all checks to the placement schemes.
+    #[default]
+    Off,
+}
+
 /// Options controlling one optimization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptimizeOptions {
@@ -139,6 +155,8 @@ pub struct OptimizeOptions {
     pub kind: CheckKind,
     /// Implication ablation.
     pub implications: ImplicationMode,
+    /// Static-discharge tier.
+    pub discharge: Discharge,
 }
 
 impl OptimizeOptions {
@@ -148,6 +166,7 @@ impl OptimizeOptions {
             scheme,
             kind: CheckKind::default(),
             implications: ImplicationMode::default(),
+            discharge: Discharge::default(),
         }
     }
 
@@ -160,6 +179,12 @@ impl OptimizeOptions {
     /// Same options with a different implication mode.
     pub fn with_implications(mut self, implications: ImplicationMode) -> OptimizeOptions {
         self.implications = implications;
+        self
+    }
+
+    /// Same options with a different discharge tier.
+    pub fn with_discharge(mut self, discharge: Discharge) -> OptimizeOptions {
+        self.discharge = discharge;
         self
     }
 }
@@ -185,6 +210,8 @@ pub struct OptimizeStats {
     pub strengthened: usize,
     /// Checks removed by availability-based elimination.
     pub eliminated_static: usize,
+    /// Checks deleted by the static-discharge pre-pass.
+    pub discharged: usize,
     /// Checks folded away as compile-time true.
     pub folded_true: usize,
     /// Checks proven false at compile time (replaced by `TRAP`).
@@ -205,6 +232,7 @@ impl OptimizeStats {
         self.hoisted += other.hoisted;
         self.strengthened += other.strengthened;
         self.eliminated_static += other.eliminated_static;
+        self.discharged += other.discharged;
         self.folded_true += other.folded_true;
         self.folded_false += other.folded_false;
         self.families += other.families;
@@ -303,6 +331,19 @@ pub fn optimize_function_with(
     // event is logged for it (DESIGN.md §7).
     if opts.kind == CheckKind::Inx {
         ctx.time_pass("inx-rewrite", |ctx| inx::rewrite_checks_ctx(f, ctx));
+    }
+
+    // static discharge tier: delete checks the value-range analysis
+    // proves safe before any scheme sees them (runs after the INX
+    // rewrite, so the certifier's reference — naive + same rewrite —
+    // contains exactly the checks the events name)
+    if opts.discharge == Discharge::On {
+        stats.discharged = ctx.time_pass("discharge", |ctx| {
+            discharge::discharge_checks_ctx(f, log, ctx)
+        });
+        if stats.discharged > 0 {
+            ctx.invalidate(Invalidation::Statements);
+        }
     }
 
     // step 3: insertion under the selected scheme

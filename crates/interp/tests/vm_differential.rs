@@ -8,7 +8,7 @@
 
 use nascent_frontend::compile;
 use nascent_interp::{lower, run, run_compiled, Limits, RunError, RunResult};
-use nascent_rangecheck::{optimize_program, CheckKind, OptimizeOptions, Scheme};
+use nascent_rangecheck::{optimize_program, CheckKind, Discharge, OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
 
 fn limits() -> Limits {
@@ -98,6 +98,66 @@ fn suite_times_schemes_times_kinds_is_engine_invariant() {
             }
         }
     }
+}
+
+#[test]
+fn discharge_tier_is_engine_invariant_and_behavior_preserving() {
+    let limits = limits();
+    for b in suite(Scale::Small) {
+        let naive = compile(&b.source).expect("benchmark compiles");
+        let baseline =
+            assert_engines_agree(&format!("{} naive", b.name), &naive, &limits).expect("runs");
+        for kind in [CheckKind::Prx, CheckKind::Inx] {
+            for scheme in [Scheme::Ni, Scheme::Se, Scheme::Lls, Scheme::All] {
+                let opts = OptimizeOptions::scheme(scheme)
+                    .with_kind(kind)
+                    .with_discharge(Discharge::On);
+                let mut prog = naive.clone();
+                optimize_program(&mut prog, &opts);
+                let label = format!("{} {} {:?} discharge-on", b.name, scheme.name(), kind);
+                let r = assert_engines_agree(&label, &prog, &limits).expect("runs");
+                // deleting provably-true checks must not change behavior:
+                // identical output, still trap-free, never more checks
+                assert_eq!(r.output, baseline.output, "{label}: output changed");
+                assert!(r.trap.is_none(), "{label}: discharge introduced a trap");
+                assert!(r.dynamic_checks <= baseline.dynamic_checks, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn discharge_preserves_traps_on_both_engines() {
+    // i ranges over 1..=10 against a(1:5): the value-range tier can
+    // discharge the lower-bound check but must keep the violated upper
+    // bound, and the trap must stay bit-identical across engines
+    let src = "program p
+ integer a(1:5)
+ integer i
+ do i = 1, 10
+  a(i) = i
+ enddo
+end
+";
+    let limits = limits();
+    let naive = compile(src).expect("compiles");
+    let mut traps = Vec::new();
+    for discharge in [Discharge::Off, Discharge::On] {
+        let opts = OptimizeOptions::scheme(Scheme::Ni).with_discharge(discharge);
+        let mut prog = naive.clone();
+        optimize_program(&mut prog, &opts);
+        let label = format!("trap {discharge:?}");
+        let r = assert_engines_agree(&label, &prog, &limits).expect("trap, not error");
+        let trap = r.trap.expect("program must still trap");
+        assert!(r.output.is_empty(), "{label}: output before trap");
+        traps.push(trap);
+    }
+    // same violated check, same amount of useful work done before it
+    assert_eq!(traps[0].check, traps[1].check, "discharge changed the trap");
+    assert_eq!(
+        traps[0].at_progress, traps[1].at_progress,
+        "discharge changed pre-trap progress"
+    );
 }
 
 #[test]

@@ -54,6 +54,81 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> String {
     g.out
 }
 
+/// Generates a **discharge-friendly** program: every subscript is a
+/// constant, a counted loop variable whose range the declared bounds
+/// cover, or one step of indirection through a locally initialized map
+/// array. The static-discharge tier's value-range analysis should prove
+/// (and delete) every check.
+pub fn discharge_friendly(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: i64 = rng.gen_range(8..24);
+    let k: i64 = rng.gen_range(2..6);
+    let off: i64 = rng.gen_range(0..3);
+    let s0: i64 = rng.gen_range(0..5);
+    format!(
+        "program gen
+ integer i, t, s
+ integer a(1:{n})
+ integer b(1:{m})
+ integer map(1:{n})
+ s = {s0}
+ do i = 1, {n}
+  map(i) = i - 1
+  a(i) = i
+ enddo
+ a({k}) = {k}
+ if (s <= 4) then
+  b({k} + {off}) = s
+ endif
+ do i = 1, {n}
+  t = map(i)
+  b(t + 1) = a(i) + t
+ enddo
+ print a(1) + b(1)
+end
+",
+        m = n + 1
+    )
+}
+
+/// Generates a **discharge-hostile** program: every subscript depends on
+/// a degree-2 product of subroutine parameters, whose values the
+/// value-range analysis cannot bound (scalar parameters are unknown at
+/// function entry). The static-discharge tier must delete exactly zero
+/// checks — the generator is the negative control for the discharge-rate
+/// tables.
+pub fn discharge_hostile(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h: i64 = rng.gen_range(10..40);
+    let m: i64 = rng.gen_range(3..9);
+    let v0: i64 = rng.gen_range(1..4);
+    let v1: i64 = rng.gen_range(1..4);
+    let v2: i64 = rng.gen_range(1..3);
+    format!(
+        "program gen
+ integer s0, s1, s2
+ s0 = {v0}
+ s1 = {v1}
+ s2 = {v2}
+ call kern(s0, s1, s2)
+end
+subroutine kern(p, q, r)
+ integer p, q, r
+ integer i, t, u
+ integer a(1:{h})
+ t = p * q
+ do i = 1, {m}
+  a(t) = i
+  u = q * i
+  a(u + t) = t
+  t = t + r
+ enddo
+ print t
+end
+"
+    )
+}
+
 struct Gen<'a> {
     rng: &'a mut StdRng,
     cfg: &'a GenConfig,
@@ -257,6 +332,39 @@ mod tests {
             compiled += 1;
         }
         assert_eq!(compiled, 60);
+    }
+
+    #[test]
+    fn discharge_generators_compile_and_are_deterministic() {
+        for seed in 0..20 {
+            let friendly = discharge_friendly(seed);
+            let prog = nascent_frontend::compile(&friendly)
+                .unwrap_or_else(|e| panic!("friendly seed {seed}: {e}\n{friendly}"));
+            nascent_ir::validate::assert_valid(&prog);
+            let hostile = discharge_hostile(seed);
+            let prog = nascent_frontend::compile(&hostile)
+                .unwrap_or_else(|e| panic!("hostile seed {seed}: {e}\n{hostile}"));
+            nascent_ir::validate::assert_valid(&prog);
+        }
+        assert_eq!(discharge_friendly(3), discharge_friendly(3));
+        assert_eq!(discharge_hostile(3), discharge_hostile(3));
+    }
+
+    #[test]
+    fn discharge_generator_programs_run_clean() {
+        let limits = Limits {
+            max_steps: 500_000,
+            max_call_depth: 16,
+        };
+        for seed in 0..20 {
+            let prog = nascent_frontend::compile(&discharge_friendly(seed)).unwrap();
+            let r = run(&prog, &limits).unwrap();
+            assert!(
+                r.trap.is_none(),
+                "friendly seed {seed} trapped: {:?}",
+                r.trap
+            );
+        }
     }
 
     #[test]

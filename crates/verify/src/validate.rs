@@ -54,7 +54,7 @@ use nascent_analysis::reach::UniqueDefs;
 use nascent_ir::{BlockId, Check, CheckExpr, Function, LinForm, Program, Stmt, Terminator, VarId};
 use nascent_rangecheck::dataflow::{antic_step, avail_step, Antic, Avail};
 use nascent_rangecheck::util::BitSet;
-use nascent_rangecheck::{inx, CheckKind, Event, JustLog, OptimizeOptions, Universe};
+use nascent_rangecheck::{inx, CheckKind, Discharge, Event, JustLog, OptimizeOptions, Universe};
 
 use crate::vra::{self, Vra};
 
@@ -96,6 +96,12 @@ pub struct Certificate {
     /// Reference checks the value-range analysis proves always-true at
     /// their original site, independent of the log.
     pub vra_discharged: usize,
+    /// `Discharged` events examined (direction C: each must name a real
+    /// reference check the trusted VRA re-proves at its site).
+    pub discharge_events: usize,
+    /// `Discharged` events rejected (tampered, relocated, or claiming an
+    /// unprovable verdict). Counted in `diagnostics` too.
+    pub discharge_rejected: usize,
     /// Failed obligations. Empty means the optimization run is certified.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -111,6 +117,8 @@ impl Certificate {
         self.obligations += other.obligations;
         self.discharged_by_log += other.discharged_by_log;
         self.vra_discharged += other.vra_discharged;
+        self.discharge_events += other.discharge_events;
+        self.discharge_rejected += other.discharge_rejected;
         self.diagnostics.extend(other.diagnostics);
     }
 }
@@ -122,7 +130,11 @@ impl fmt::Display for Certificate {
                 f,
                 "certified: {} obligations ({} via justification log, {} statically discharged by VRA)",
                 self.obligations, self.discharged_by_log, self.vra_discharged
-            )
+            )?;
+            if self.discharge_events > 0 {
+                write!(f, "; {} discharge events re-proved", self.discharge_events)?;
+            }
+            Ok(())
         } else {
             write!(
                 f,
@@ -358,6 +370,66 @@ pub fn certify_function(
                 }
                 _ => gap += 1,
             }
+        }
+    }
+
+    // direction C: every `Discharged` event names a real reference check
+    // the trusted VRA re-proves at its site. Direction A alone cannot
+    // catch a tampered or relocated event — its VRA fallback would cover
+    // the deletion without consulting the log — so the events themselves
+    // are obligations: an event pointing at a nonexistent site or an
+    // unprovable check means the optimizer's justification was forged.
+    for e in log.events.iter() {
+        let Event::Discharged { block, check, .. } = e else {
+            continue;
+        };
+        cert.obligations += 1;
+        cert.discharge_events += 1;
+        let reject = |cert: &mut Certificate, reason: String| {
+            cert.discharge_rejected += 1;
+            cert.diagnostics.push(Diagnostic {
+                check: check.to_string(),
+                block: *block,
+                gap: 0,
+                reason,
+            });
+        };
+        if opts.discharge == Discharge::Off {
+            reject(
+                &mut cert,
+                "discharge event logged but the discharge tier is off".into(),
+            );
+            continue;
+        }
+        if block.index() >= ctx.shared {
+            reject(
+                &mut cert,
+                format!(
+                    "discharge event names b{}, outside the reference function",
+                    block.index()
+                ),
+            );
+            continue;
+        }
+        let proved = ctx
+            .ref_f
+            .block(*block)
+            .stmts
+            .iter()
+            .enumerate()
+            .any(|(idx, s)| match s {
+                Stmt::Check(c) if c.is_unconditional() && &c.cond == check => {
+                    ctx.vra_ref.at(ctx.ref_f, *block, idx).verdict(check) == Some(true)
+                }
+                _ => false,
+            });
+        if !proved {
+            reject(
+                &mut cert,
+                "discharge not re-proved: no matching reference check at this block \
+                 has a provably-true verdict under the trusted value-range analysis"
+                    .into(),
+            );
         }
     }
 
@@ -664,6 +736,16 @@ impl Ctx<'_> {
                         Ok(()) => return Ok(Cover::Log),
                         Err(r) => tried.push(format!("hoist cover by `{by}` fails: {r}")),
                     }
+                }
+                Event::Discharged { block, check, .. } if *block == b && check == c => {
+                    // the recorded reason is advisory; the trusted VRA
+                    // must re-prove the verdict at the original site
+                    if let Some(idx) = ref_idx {
+                        if self.vra_ref.at(self.ref_f, b, idx).verdict(c) == Some(true) {
+                            return Ok(Cover::Log);
+                        }
+                    }
+                    tried.push(format!("discharged `{c}` is not provably in-bounds"));
                 }
                 _ => {}
             }

@@ -1,13 +1,16 @@
-//! Symbolic value-range analysis over canonical check forms.
+//! Symbolic value-range analysis over canonical check forms — the
+//! certifier's *trusted* copy.
 //!
 //! A forward data-flow analysis that tracks, per scalar variable, a
 //! constant interval and optional *symbolic* bounds (a [`LinForm`] known
 //! to be `>=` or `<=` the variable). Facts come from assignments, from
 //! performed (unconditional) checks, from branch conditions on each CFG
-//! edge, and from induction-variable trip-count facts at loop body
-//! entries (the body-valid `lower <= iv <= upper` range computed by
-//! `nascent_analysis::loops`). Loop heads are widened so the fixpoint
-//! terminates.
+//! edge, from induction-variable trip-count facts at loop body entries
+//! (the body-valid `lower <= iv <= upper` range computed by
+//! `nascent_analysis::loops`), and from conservative per-array range
+//! summaries of stored values (a load from a private, zero-initialized
+//! array is bounded by everything ever stored into it). Loop heads are
+//! widened so the fixpoint terminates.
 //!
 //! The analysis answers one question: is a canonical check
 //! `form <= bound` provably true, provably false, or unknown at a
@@ -15,15 +18,24 @@
 //!
 //! Like the optimizer's data-flow systems, `Call` statements are assumed
 //! not to modify the caller's scalars (the frontend passes scalars by
-//! value); `Load` makes the target unknown. All interval arithmetic is
-//! *checked*: an overflowing bound degrades to "unbounded" rather than
-//! wrapping, because the concrete semantics wrap and a wrapped abstract
-//! bound would be unsound.
+//! value); `Load` yields the array's range summary when one exists, and
+//! unknown otherwise. All interval arithmetic is *checked*: an
+//! overflowing bound degrades to "unbounded" rather than wrapping,
+//! because the concrete semantics wrap and a wrapped abstract bound
+//! would be unsound.
+//!
+//! The optimizer's `discharge` pass uses its own fork of this analysis
+//! (`nascent_analysis::vra`). The two files are deliberately independent
+//! implementations — the trusted certifier must not share a code path
+//! with the untrusted optimizer — but are kept in lockstep (same
+//! fixpoint discipline, same widening and recursion budgets) so every
+//! check the optimizer discharges, this copy can re-prove.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use nascent_ir::{
-    Atom, BinOp, CheckExpr, Expr, Function, LinForm, Stmt, Term, Terminator, UnOp, VarId,
+    Arg, ArrayId, Atom, BinOp, CheckExpr, Expr, Function, LinForm, Param, Stmt, Term, Terminator,
+    Ty, UnOp, VarId,
 };
 
 /// A (possibly half-open) constant interval. `None` means unbounded.
@@ -46,7 +58,13 @@ impl Interval {
         matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
     }
 
-    fn join(self, other: Interval) -> Interval {
+    /// True when `x` lies within the interval.
+    pub fn contains(self, x: i64) -> bool {
+        self.lo.is_none_or(|l| l <= x) && self.hi.is_none_or(|h| x <= h)
+    }
+
+    /// Least interval containing both (convex hull).
+    pub fn join(self, other: Interval) -> Interval {
         Interval {
             lo: self.lo.zip(other.lo).map(|(a, b)| a.min(b)),
             hi: self.hi.zip(other.hi).map(|(a, b)| a.max(b)),
@@ -93,6 +111,30 @@ impl Env {
             self.intervals.remove(&v);
         } else {
             self.intervals.insert(v, i);
+        }
+    }
+
+    /// Intersects `v`'s interval with `iv` (an externally known fact);
+    /// a contradiction makes the state unreachable.
+    pub fn assume_interval(&mut self, v: VarId, iv: Interval) {
+        if self.bottom {
+            return;
+        }
+        let cur = self.interval(v);
+        let met = Interval {
+            lo: match (cur.lo, iv.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            hi: match (cur.hi, iv.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        };
+        if met.is_empty() {
+            self.bottom = true;
+        } else {
+            self.set_interval(v, met);
         }
     }
 
@@ -205,6 +247,22 @@ impl Env {
         best
     }
 
+    /// `Some(true)`/`Some(false)` when `form <= bound` provably holds /
+    /// provably fails here, `None` when unknown.
+    fn le_verdict(&self, form: &LinForm, bound: i64) -> Option<bool> {
+        if let Some(hi) = self.upper(form, SYM_DEPTH) {
+            if hi <= bound {
+                return Some(true);
+            }
+        }
+        if let Some(lo) = self.lower(form, SYM_DEPTH) {
+            if lo > bound {
+                return Some(false);
+            }
+        }
+        None
+    }
+
     /// Decides a canonical check at this point: `Some(true)` when
     /// `form <= bound` always holds here (vacuously so at an unreachable
     /// point), `Some(false)` when it never holds, `None` when unknown.
@@ -212,17 +270,46 @@ impl Env {
         if self.bottom {
             return Some(true);
         }
-        if let Some(hi) = self.upper(check.form(), SYM_DEPTH) {
-            if hi <= check.bound() {
-                return Some(true);
+        self.le_verdict(check.form(), check.bound())
+    }
+
+    /// Decides a branch condition at this point, recursing through `not`,
+    /// `and`, `or` and comparisons. `None` when undecidable.
+    pub fn cond_verdict(&self, cond: &Expr) -> Option<bool> {
+        match cond {
+            Expr::Unary(UnOp::Not, inner) => self.cond_verdict(inner).map(|b| !b),
+            Expr::Binary(BinOp::And, a, b) => match (self.cond_verdict(a), self.cond_verdict(b)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            Expr::Binary(BinOp::Or, a, b) => match (self.cond_verdict(a), self.cond_verdict(b)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                let d = LinForm::from_expr(l).sub(&LinForm::from_expr(r));
+                match op {
+                    BinOp::Le => self.le_verdict(&d, 0),
+                    BinOp::Lt => self.le_verdict(&d, -1),
+                    BinOp::Ge => self.le_verdict(&d.neg(), 0),
+                    BinOp::Gt => self.le_verdict(&d.neg(), -1),
+                    BinOp::Eq => match (self.le_verdict(&d, 0), self.le_verdict(&d.neg(), 0)) {
+                        (Some(true), Some(true)) => Some(true),
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        _ => None,
+                    },
+                    BinOp::Ne => match (self.le_verdict(&d, 0), self.le_verdict(&d.neg(), 0)) {
+                        (Some(true), Some(true)) => Some(false),
+                        (Some(false), _) | (_, Some(false)) => Some(true),
+                        _ => None,
+                    },
+                    _ => None,
+                }
             }
+            _ => None,
         }
-        if let Some(lo) = self.lower(check.form(), SYM_DEPTH) {
-            if lo > check.bound() {
-                return Some(false);
-            }
-        }
-        None
     }
 
     /// Records the fact `form <= bound` (a passed check or a taken
@@ -238,10 +325,12 @@ impl Env {
             return;
         }
         // refine each degree-1 variable using bounds on the other terms
+        // (an i64::MIN coefficient has no negation; skip it rather than
+        // wrap)
         let targets: Vec<(VarId, i64)> = form
             .terms()
             .filter_map(|(t, c)| match t.atoms() {
-                [Atom::Var(v)] => Some((*v, c)),
+                [Atom::Var(v)] if c != i64::MIN => Some((*v, c)),
                 _ => None,
             })
             .collect();
@@ -256,9 +345,16 @@ impl Env {
                         let b = num.div_euclid(c);
                         iv.hi = Some(iv.hi.map_or(b, |x| x.min(b)));
                     } else {
-                        // c < 0:  v >= ceil(num / c)
-                        let b = -num.div_euclid(-c);
-                        iv.lo = Some(iv.lo.map_or(b, |x| x.max(b)));
+                        // c < 0:  v >= ceil(num / c); checked, so a bound
+                        // near i64::MIN skips the refinement instead of
+                        // wrapping
+                        if let Some(b) = c
+                            .checked_neg()
+                            .map(|nc| num.div_euclid(nc))
+                            .and_then(i64::checked_neg)
+                        {
+                            iv.lo = Some(iv.lo.map_or(b, |x| x.max(b)));
+                        }
                     }
                     if iv.is_empty() {
                         self.bottom = true;
@@ -284,8 +380,9 @@ impl Env {
         }
     }
 
-    /// Transfer function for one statement.
-    pub fn step(&mut self, s: &Stmt) {
+    /// Transfer function for one statement, with loads refined by the
+    /// per-array range summaries in `load_ranges`.
+    pub fn step_with(&mut self, s: &Stmt, load_ranges: &HashMap<ArrayId, Interval>) {
         if self.bottom {
             return;
         }
@@ -310,9 +407,9 @@ impl Env {
                     self.sym_lower.insert(*var, form);
                 }
             }
-            Stmt::Load { var, .. } => {
+            Stmt::Load { var, array, .. } => {
                 self.kill_sym_mentioning(*var);
-                self.set_interval(*var, Interval::top());
+                self.set_interval(*var, load_ranges.get(array).copied().unwrap_or_default());
             }
             Stmt::Check(c) => {
                 if c.is_unconditional() {
@@ -327,6 +424,11 @@ impl Env {
         }
     }
 
+    /// [`Env::step_with`] without array range summaries.
+    pub fn step(&mut self, s: &Stmt) {
+        self.step_with(s, &HashMap::new());
+    }
+
     /// Refines by a branch condition known to have the given truth value.
     pub fn assume_cond(&mut self, cond: &Expr, truth: bool) {
         match cond {
@@ -335,9 +437,29 @@ impl Env {
                 self.assume_cond(a, true);
                 self.assume_cond(b, true);
             }
+            Expr::Binary(BinOp::And, a, b) if !truth => {
+                // ¬(a ∧ b) is disjunctive; it pins a conjunct only when
+                // the other is provably true (both true: contradiction)
+                match (self.cond_verdict(a), self.cond_verdict(b)) {
+                    (Some(true), Some(true)) => self.bottom = true,
+                    (Some(true), _) => self.assume_cond(b, false),
+                    (_, Some(true)) => self.assume_cond(a, false),
+                    _ => {}
+                }
+            }
             Expr::Binary(BinOp::Or, a, b) if !truth => {
                 self.assume_cond(a, false);
                 self.assume_cond(b, false);
+            }
+            Expr::Binary(BinOp::Or, a, b) if truth => {
+                // a ∨ b pins a disjunct only when the other is provably
+                // false (both false: contradiction)
+                match (self.cond_verdict(a), self.cond_verdict(b)) {
+                    (Some(false), Some(false)) => self.bottom = true,
+                    (Some(false), _) => self.assume_cond(b, true),
+                    (_, Some(false)) => self.assume_cond(a, true),
+                    _ => {}
+                }
             }
             Expr::Binary(op, l, r) if op.is_comparison() => {
                 let d = LinForm::from_expr(l).sub(&LinForm::from_expr(r));
@@ -357,6 +479,54 @@ impl Env {
             _ => {}
         }
     }
+
+    /// Concrete containment test (for the soundness property tests): is
+    /// the valuation `vals` described by this abstract state? Constrained
+    /// variables must be present in `vals`; a symbolic bound that does
+    /// not evaluate (opaque term, missing variable, overflow) is skipped,
+    /// which only widens the state.
+    pub fn models(&self, vals: &HashMap<VarId, i64>) -> bool {
+        if self.bottom {
+            return false;
+        }
+        for (v, iv) in &self.intervals {
+            match vals.get(v) {
+                Some(x) if iv.contains(*x) => {}
+                _ => return false,
+            }
+        }
+        for (v, f) in &self.sym_upper {
+            if let (Some(x), Some(b)) = (vals.get(v), eval_form(f, vals)) {
+                if *x > b {
+                    return false;
+                }
+            }
+        }
+        for (v, f) in &self.sym_lower {
+            if let (Some(x), Some(b)) = (vals.get(v), eval_form(f, vals)) {
+                if b > *x {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Evaluates a linear form under a valuation with checked arithmetic;
+/// `None` when a variable is missing, a term is opaque, or the
+/// arithmetic overflows.
+pub fn eval_form(form: &LinForm, vals: &HashMap<VarId, i64>) -> Option<i64> {
+    let mut acc = form.constant_part();
+    for (t, c) in form.terms() {
+        let mut prod: i64 = 1;
+        for a in t.atoms() {
+            let Atom::Var(v) = a else { return None };
+            prod = prod.checked_mul(*vals.get(v)?)?;
+        }
+        acc = acc.checked_add(prod.checked_mul(c)?)?;
+    }
+    Some(acc)
 }
 
 /// The comparison that holds when `op` does not.
@@ -378,6 +548,9 @@ fn negated(op: BinOp) -> BinOp {
 pub struct Vra {
     /// `entry[b.index()]` — the abstract state on entry to block `b`.
     pub entry: Vec<Env>,
+    /// Conservative range of every value a `Load` can observe, per
+    /// private integer array (see [`analyze`]); replayed by [`Vra::at`].
+    pub load_ranges: HashMap<ArrayId, Interval>,
 }
 
 impl Vra {
@@ -385,7 +558,7 @@ impl Vra {
     pub fn at(&self, f: &Function, b: nascent_ir::BlockId, stmt: usize) -> Env {
         let mut env = self.entry[b.index()].clone();
         for s in f.block(b).stmts.iter().take(stmt) {
-            env.step(s);
+            env.step_with(s, &self.load_ranges);
         }
         env
     }
@@ -426,6 +599,84 @@ pub fn analyze_with(f: &Function, ctx: &mut nascent_analysis::context::PassConte
         }
     }
 
+    // phase 1: loads are unknown
+    let entry = fixpoint(f, &loop_facts, &HashMap::new());
+    // per-array range summaries from the (sound, load-agnostic) phase-1
+    // states
+    let load_ranges = array_summaries(f, &entry);
+    if load_ranges.is_empty() {
+        return Vra { entry, load_ranges };
+    }
+    // phase 2: loads from summarized arrays are range-refined
+    let entry = fixpoint(f, &loop_facts, &load_ranges);
+    Vra { entry, load_ranges }
+}
+
+/// Conservative range of every value a `Load` can observe, for each
+/// array *private* to `f`: declared locally, not a parameter, and never
+/// passed to a callee (arrays flow by reference through calls, so a
+/// callee could store anything). Arrays start zero-initialized, so the
+/// summary is `{0}` joined with the interval of every stored value,
+/// evaluated in the phase-1 entry states. Only integer arrays are
+/// summarized (intervals describe `i64` values), and summaries that
+/// degrade to unbounded are dropped.
+fn array_summaries(f: &Function, entry: &[Env]) -> HashMap<ArrayId, Interval> {
+    let mut private: HashSet<ArrayId> = (0..f.arrays.len())
+        .map(|i| ArrayId(i as u32))
+        .filter(|a| f.arrays[a.index()].ty == Ty::Int)
+        .collect();
+    for p in &f.params {
+        if let Param::Array(a) = p {
+            private.remove(a);
+        }
+    }
+    for b in &f.blocks {
+        for s in &b.stmts {
+            if let Stmt::Call { args, .. } = s {
+                for arg in args {
+                    if let Arg::Array(a) = arg {
+                        private.remove(a);
+                    }
+                }
+            }
+        }
+    }
+    if private.is_empty() {
+        return HashMap::new();
+    }
+    let zero = Interval {
+        lo: Some(0),
+        hi: Some(0),
+    };
+    let mut out: HashMap<ArrayId, Interval> = private.iter().map(|a| (*a, zero)).collect();
+    let no_ranges = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let mut env = entry[bi].clone();
+        for s in &b.stmts {
+            if let Stmt::Store { array, value, .. } = s {
+                if let Some(sum) = out.get_mut(array) {
+                    let form = LinForm::from_expr(value);
+                    let stored = Interval {
+                        lo: env.lower(&form, SYM_DEPTH),
+                        hi: env.upper(&form, SYM_DEPTH),
+                    };
+                    *sum = sum.join(stored);
+                }
+            }
+            env.step_with(s, &no_ranges);
+        }
+    }
+    out.retain(|_, iv| *iv != Interval::top());
+    out
+}
+
+/// One worklist fixpoint over `f` with the given trip-count facts and
+/// load summaries.
+fn fixpoint(
+    f: &Function,
+    loop_facts: &HashMap<usize, Vec<(LinForm, i64)>>,
+    load_ranges: &HashMap<ArrayId, Interval>,
+) -> Vec<Env> {
     let n = f.blocks.len();
     let mut entry: Vec<Env> = vec![Env::unreachable(); n];
     entry[f.entry.index()] = Env::top();
@@ -447,7 +698,7 @@ pub fn analyze_with(f: &Function, ctx: &mut nascent_analysis::context::PassConte
         let b = nascent_ir::BlockId(bi as u32);
         let mut env = entry[bi].clone();
         for s in &f.block(b).stmts {
-            env.step(s);
+            env.step_with(s, load_ranges);
         }
         let out: Vec<(usize, Env)> = match &f.block(b).term {
             Terminator::Jump(t) => vec![(t.index(), env)],
@@ -486,7 +737,7 @@ pub fn analyze_with(f: &Function, ctx: &mut nascent_analysis::context::PassConte
             }
         }
     }
-    Vra { entry }
+    entry
 }
 
 #[cfg(test)]
@@ -584,6 +835,77 @@ end
         // then-branch: i in [0,0], checks on i+1 hold; the else branch is
         // statically unreachable (0 < 5), so its checks hold vacuously
         assert!(verdicts.iter().all(|v| *v == Some(true)), "{verdicts:?}");
+    }
+
+    #[test]
+    fn loads_from_private_zero_initialized_arrays_are_bounded() {
+        // map holds values in [0, 9]; a(map(j) + 1) is then provably
+        // within a(1:10) — the subscripted-subscript case
+        let (f, vra) = vra_of(
+            "program p
+ integer map(1:10)
+ integer a(1:10)
+ integer i, j, t
+ do i = 1, 10
+  map(i) = i - 1
+ enddo
+ do j = 1, 10
+  t = map(j)
+  a(t + 1) = j
+ enddo
+end
+",
+        );
+        let verdicts = check_verdicts(&f, &vra);
+        assert!(
+            verdicts.iter().all(|v| *v == Some(true)),
+            "subscripted-subscript checks all provable: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn negated_compound_condition_refines_conservatively() {
+        // the else edge carries ¬(i <= 7 ∧ j <= 99); j stays in [1, 2],
+        // so j <= 99 is provably true and the analysis pins i >= 8 on
+        // that edge, proving a(i) safe for a(8:20)
+        let (f, vra) = vra_of(
+            "program p
+ integer a(8:20)
+ integer i, j
+ j = 1
+ do i = 1, 20
+  if (i <= 7 and j <= 99) then
+   j = 2
+  else
+   a(i) = j
+  endif
+ enddo
+end
+",
+        );
+        let verdicts = check_verdicts(&f, &vra);
+        assert!(
+            verdicts.iter().all(|v| *v == Some(true)),
+            "negated conjunction refines the else edge: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn assume_le_near_i64_bounds_does_not_wrap() {
+        // -v <= i64::MIN used to negate the quotient of div_euclid and
+        // overflow; it must now degrade gracefully (no refinement) and
+        // stay sound
+        let mut env = Env::top();
+        let form = LinForm::var(VarId(0)).neg();
+        env.assume_le(&form, i64::MIN);
+        assert!(!env.bottom);
+        // v >= -i64::MIN is unrepresentable: no (wrapped) bound may appear
+        assert_eq!(env.interval(VarId(0)).hi, None);
+
+        let mut env = Env::top();
+        env.assume_le(&LinForm::var(VarId(0)), i64::MAX);
+        assert_eq!(env.interval(VarId(0)).hi, Some(i64::MAX));
+        assert!(!env.bottom);
     }
 
     #[test]

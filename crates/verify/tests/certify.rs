@@ -5,7 +5,7 @@
 use nascent_frontend::compile;
 use nascent_ir::Stmt;
 use nascent_rangecheck::{
-    optimize_program_logged, CheckKind, Event, ImplicationMode, OptimizeOptions, Scheme,
+    optimize_program_logged, CheckKind, Discharge, Event, ImplicationMode, OptimizeOptions, Scheme,
 };
 use nascent_suite::test_suite;
 use nascent_verify::certify_program;
@@ -225,6 +225,186 @@ end
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+    }
+}
+
+/// With the discharge tier on, every scheme × kind × implication mode on
+/// the full suite still certifies — zero uncovered obligations and zero
+/// rejected discharge events — and the tier actually fires somewhere.
+#[test]
+fn certifier_accepts_discharge_on_across_the_matrix() {
+    let suite = test_suite();
+    let mut total_events = 0;
+    for scheme in Scheme::EACH {
+        for kind in [CheckKind::Prx, CheckKind::Inx] {
+            for implications in [
+                ImplicationMode::All,
+                ImplicationMode::CrossFamilyOnly,
+                ImplicationMode::None,
+            ] {
+                let opts = OptimizeOptions::scheme(scheme)
+                    .with_kind(kind)
+                    .with_implications(implications)
+                    .with_discharge(Discharge::On);
+                for bench in &suite {
+                    let cert = certify_source(&bench.source, &opts);
+                    assert!(
+                        cert.ok(),
+                        "{} under {}/{:?}/{:?} + discharge rejected:\n{}",
+                        bench.name,
+                        scheme.name(),
+                        kind,
+                        implications,
+                        cert.diagnostics
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    );
+                    assert_eq!(cert.discharge_rejected, 0, "{}", bench.name);
+                    total_events += cert.discharge_events;
+                }
+            }
+        }
+    }
+    assert!(
+        total_events > 0,
+        "discharge tier never fired across the whole matrix"
+    );
+}
+
+/// Every check deleted by the discharge pass on this program is provable
+/// from the loop trip count alone.
+const FULLY_DISCHARGEABLE: &str = "program p
+ integer a(1:10)
+ integer i
+ do i = 1, 10
+  a(i) = i
+ enddo
+end
+";
+
+/// Tampering with a `Discharged` event's check expression — claiming a
+/// different check was discharged — is rejected with a diagnostic naming
+/// the forged check.
+#[test]
+fn rejects_tampered_discharge_event() {
+    let opts = OptimizeOptions::scheme(Scheme::Ni).with_discharge(Discharge::On);
+    let naive = compile(FULLY_DISCHARGEABLE).unwrap();
+    let mut opt = naive.clone();
+    let (stats, mut logs) = optimize_program_logged(&mut opt, &opts);
+    assert!(stats.discharged > 0, "program must exercise the tier");
+    assert!(certify_program(&naive, &opt, &logs, &opts).ok());
+
+    let mut tampered = None;
+    'outer: for log in &mut logs {
+        for e in &mut log.events {
+            if let Event::Discharged { check, .. } = e {
+                *check = check.with_bound(check.bound().saturating_add(1_000));
+                tampered = Some(check.clone());
+                break 'outer;
+            }
+        }
+    }
+    let tampered = tampered.expect("run discharged at least one check");
+
+    let cert = certify_program(&naive, &opt, &logs, &opts);
+    assert!(!cert.ok(), "tampered discharge event must be rejected");
+    assert!(cert.discharge_rejected > 0);
+    let d = cert
+        .diagnostics
+        .iter()
+        .find(|d| d.check == tampered.to_string())
+        .expect("diagnostic names the forged check");
+    assert!(
+        d.reason.contains("not re-proved"),
+        "diagnostic explains the failed re-proof: {d}"
+    );
+}
+
+/// Relocating a `Discharged` event outside the reference function is
+/// rejected by name instead of being silently ignored.
+#[test]
+fn rejects_relocated_discharge_event() {
+    let opts = OptimizeOptions::scheme(Scheme::Ni).with_discharge(Discharge::On);
+    let naive = compile(FULLY_DISCHARGEABLE).unwrap();
+    let mut opt = naive.clone();
+    let (_, mut logs) = optimize_program_logged(&mut opt, &opts);
+
+    let mut moved = false;
+    'outer: for log in &mut logs {
+        for e in &mut log.events {
+            if let Event::Discharged { block, .. } = e {
+                *block = nascent_ir::BlockId(block.index() as u32 + 1_000);
+                moved = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(moved, "run discharged at least one check");
+
+    let cert = certify_program(&naive, &opt, &logs, &opts);
+    assert!(!cert.ok(), "relocated discharge event must be rejected");
+    assert!(cert.discharge_rejected > 0);
+    assert!(
+        cert.diagnostics
+            .iter()
+            .any(|d| d.reason.contains("outside the reference function")),
+        "diagnostic names the bogus block"
+    );
+}
+
+/// A `Discharged` event in a run whose options had the tier off is
+/// itself a forgery: the optimizer could not have made that decision.
+#[test]
+fn rejects_discharge_event_when_tier_off() {
+    let opts_on = OptimizeOptions::scheme(Scheme::Ni).with_discharge(Discharge::On);
+    let naive = compile(FULLY_DISCHARGEABLE).unwrap();
+    let mut opt = naive.clone();
+    let (_, logs) = optimize_program_logged(&mut opt, &opts_on);
+    assert!(logs.iter().any(|l| !l.events.is_empty()));
+
+    // certify the same artifacts under discharge-off options
+    let opts_off = OptimizeOptions::scheme(Scheme::Ni);
+    let cert = certify_program(&naive, &opt, &logs, &opts_off);
+    assert!(!cert.ok(), "discharge events under an off tier are forged");
+    assert!(
+        cert.diagnostics
+            .iter()
+            .any(|d| d.reason.contains("discharge tier is off")),
+        "diagnostic explains the mode mismatch"
+    );
+}
+
+/// Equality-of-strength guard: the optimizer-side and trusted value-range
+/// analyses are independent implementations kept in lockstep — on every
+/// unconditional check of the suite they must return the same verdict,
+/// otherwise a discharge could certify on one side and fail on the other.
+#[test]
+fn optimizer_and_trusted_vra_agree_on_the_suite() {
+    for bench in &test_suite() {
+        let prog = compile(&bench.source).unwrap();
+        for f in &prog.functions {
+            let opt_vra = nascent_analysis::vra::analyze(f);
+            let ver_vra = nascent_verify::vra::analyze(f);
+            for b in f.block_ids() {
+                for (i, s) in f.block(b).stmts.iter().enumerate() {
+                    if let Stmt::Check(c) = s {
+                        if c.is_unconditional() {
+                            assert_eq!(
+                                opt_vra.at(f, b, i).verdict(&c.cond),
+                                ver_vra.at(f, b, i).verdict(&c.cond),
+                                "{}: verdicts diverge at b{}[{}] on `{}`",
+                                bench.name,
+                                b.index(),
+                                i,
+                                c.cond
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 

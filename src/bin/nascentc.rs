@@ -16,6 +16,9 @@
 //!   --classic                               classical scalar opts pre-pass
 //!   --inx                                   use induction-expression checks
 //!   --implications all|cross|none           implication ablation
+//!   --discharge on|off                      static-discharge tier: delete
+//!                                           checks the value-range pass
+//!                                           proves safe (default off)
 //!   --no-opt                                keep the naive checks
 //!   --engine tree|vm                        (run/compare) execution engine
 //!                                           (default vm); counters are
@@ -36,8 +39,8 @@ use nascent::frontend::compile;
 use nascent::interp::{run_with_engine, Engine, Limits};
 use nascent::ir::pretty::DisplayProgram;
 use nascent::rangecheck::{
-    optimize_program, optimize_program_logged_timed, CheckKind, ImplicationMode, JustLog,
-    OptimizeOptions, OptimizeStats, Scheme, Timings,
+    optimize_program, optimize_program_logged_timed, CheckKind, Discharge, ImplicationMode,
+    JustLog, OptimizeOptions, OptimizeStats, Scheme, Timings,
 };
 use nascent::verify::{certify_program, Certificate};
 
@@ -95,6 +98,15 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
                     "cross" => ImplicationMode::CrossFamilyOnly,
                     "none" => ImplicationMode::None,
                     other => return Err(format!("unknown implication mode `{other}`")),
+                };
+            }
+            "--discharge" => {
+                i += 1;
+                let mode = rest.get(i).ok_or("--discharge needs a value")?;
+                opts.discharge = match mode.as_str() {
+                    "on" => Discharge::On,
+                    "off" => Discharge::Off,
+                    other => return Err(format!("unknown discharge mode `{other}`")),
                 };
             }
             "--no-opt" => optimize = false,
@@ -225,6 +237,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 "static checks:     {} -> {}",
                 stats.static_before, stats.static_after
             );
+            println!("discharged:        {}", stats.discharged);
             println!("inserted (PRE):    {}", stats.inserted);
             println!("hoisted (preheader): {}", stats.hoisted);
             println!("strengthened:      {}", stats.strengthened);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_cache-8e57679d7c680b9e.d: crates/bench/benches/analysis_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_cache-8e57679d7c680b9e.rmeta: crates/bench/benches/analysis_cache.rs Cargo.toml
+
+crates/bench/benches/analysis_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

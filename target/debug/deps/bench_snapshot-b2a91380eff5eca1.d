@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-b2a91380eff5eca1.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-b2a91380eff5eca1: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

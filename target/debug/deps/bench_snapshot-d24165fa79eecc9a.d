@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-d24165fa79eecc9a.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-d24165fa79eecc9a: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

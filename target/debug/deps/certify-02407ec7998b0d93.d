@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certify-02407ec7998b0d93.d: crates/verify/tests/certify.rs
+
+/root/repo/target/debug/deps/certify-02407ec7998b0d93: crates/verify/tests/certify.rs
+
+crates/verify/tests/certify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certify-ada8ac8c9f760542.d: crates/verify/tests/certify.rs
+
+/root/repo/target/debug/deps/certify-ada8ac8c9f760542: crates/verify/tests/certify.rs
+
+crates/verify/tests/certify.rs:

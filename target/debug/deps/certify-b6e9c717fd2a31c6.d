@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/certify-b6e9c717fd2a31c6.d: crates/verify/tests/certify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcertify-b6e9c717fd2a31c6.rmeta: crates/verify/tests/certify.rs Cargo.toml
+
+crates/verify/tests/certify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

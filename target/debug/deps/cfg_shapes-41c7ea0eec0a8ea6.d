@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cfg_shapes-41c7ea0eec0a8ea6.d: crates/analysis/tests/cfg_shapes.rs
+
+/root/repo/target/debug/deps/cfg_shapes-41c7ea0eec0a8ea6: crates/analysis/tests/cfg_shapes.rs
+
+crates/analysis/tests/cfg_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cfg_shapes-bb613b84057a0963.d: crates/analysis/tests/cfg_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcfg_shapes-bb613b84057a0963.rmeta: crates/analysis/tests/cfg_shapes.rs Cargo.toml
+
+crates/analysis/tests/cfg_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

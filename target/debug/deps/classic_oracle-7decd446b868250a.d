@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classic_oracle-7decd446b868250a.d: crates/classic/tests/classic_oracle.rs
+
+/root/repo/target/debug/deps/classic_oracle-7decd446b868250a: crates/classic/tests/classic_oracle.rs
+
+crates/classic/tests/classic_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classic_oracle-f674b22edfc724c2.d: crates/classic/tests/classic_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassic_oracle-f674b22edfc724c2.rmeta: crates/classic/tests/classic_oracle.rs Cargo.toml
+
+crates/classic/tests/classic_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-1d380a99dc517f85.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-1d380a99dc517f85.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_nascentc=placeholder:nascentc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

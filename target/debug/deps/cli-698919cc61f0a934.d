@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-698919cc61f0a934.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-698919cc61f0a934: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_nascentc=/root/repo/target/debug/nascentc

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/context-7e690ed8efe4cd4c.d: crates/analysis/tests/context.rs
+
+/root/repo/target/debug/deps/context-7e690ed8efe4cd4c: crates/analysis/tests/context.rs
+
+crates/analysis/tests/context.rs:

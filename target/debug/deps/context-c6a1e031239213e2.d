@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context-c6a1e031239213e2.d: crates/analysis/tests/context.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext-c6a1e031239213e2.rmeta: crates/analysis/tests/context.rs Cargo.toml
+
+crates/analysis/tests/context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

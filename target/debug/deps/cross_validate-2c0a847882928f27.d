@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validate-2c0a847882928f27.d: crates/cback/tests/cross_validate.rs
+
+/root/repo/target/debug/deps/cross_validate-2c0a847882928f27: crates/cback/tests/cross_validate.rs
+
+crates/cback/tests/cross_validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validate-3c3f6c23f0a13148.d: crates/cback/tests/cross_validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validate-3c3f6c23f0a13148.rmeta: crates/cback/tests/cross_validate.rs Cargo.toml
+
+crates/cback/tests/cross_validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-06dc2224fee88258.d: crates/interp/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-06dc2224fee88258.rmeta: crates/interp/tests/determinism.rs Cargo.toml
+
+crates/interp/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

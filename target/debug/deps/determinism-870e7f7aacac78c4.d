@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-870e7f7aacac78c4.d: crates/interp/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-870e7f7aacac78c4: crates/interp/tests/determinism.rs
+
+crates/interp/tests/determinism.rs:

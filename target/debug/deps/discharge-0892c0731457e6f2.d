@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/discharge-0892c0731457e6f2.d: crates/core/tests/discharge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdischarge-0892c0731457e6f2.rmeta: crates/core/tests/discharge.rs Cargo.toml
+
+crates/core/tests/discharge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

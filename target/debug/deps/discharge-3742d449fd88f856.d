@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discharge-3742d449fd88f856.d: crates/core/tests/discharge.rs
+
+/root/repo/target/debug/deps/discharge-3742d449fd88f856: crates/core/tests/discharge.rs
+
+crates/core/tests/discharge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discharge-9194d785ed3cd23f.d: crates/core/tests/discharge.rs
+
+/root/repo/target/debug/deps/discharge-9194d785ed3cd23f: crates/core/tests/discharge.rs
+
+crates/core/tests/discharge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_suite-0cf3fe5e0b0ece23.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/debug/deps/dump_suite-0cf3fe5e0b0ece23: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

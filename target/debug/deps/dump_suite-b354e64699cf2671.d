@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_suite-b354e64699cf2671.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/debug/deps/dump_suite-b354e64699cf2671: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

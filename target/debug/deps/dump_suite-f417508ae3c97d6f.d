@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dump_suite-f417508ae3c97d6f.d: crates/bench/src/bin/dump_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdump_suite-f417508ae3c97d6f.rmeta: crates/bench/src/bin/dump_suite.rs Cargo.toml
+
+crates/bench/src/bin/dump_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-86d7b8528e33d1ed.d: crates/bench/benches/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-86d7b8528e33d1ed.rmeta: crates/bench/benches/engines.rs Cargo.toml
+
+crates/bench/benches/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

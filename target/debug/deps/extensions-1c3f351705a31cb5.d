@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1c3f351705a31cb5.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1c3f351705a31cb5: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

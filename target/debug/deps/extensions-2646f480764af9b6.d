@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-2646f480764af9b6.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-2646f480764af9b6: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

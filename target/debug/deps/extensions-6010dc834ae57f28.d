@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-6010dc834ae57f28.d: crates/bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-6010dc834ae57f28.rmeta: crates/bench/src/bin/extensions.rs Cargo.toml
+
+crates/bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

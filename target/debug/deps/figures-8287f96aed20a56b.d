@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-8287f96aed20a56b.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-8287f96aed20a56b: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

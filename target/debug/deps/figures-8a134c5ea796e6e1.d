@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-8a134c5ea796e6e1.d: tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-8a134c5ea796e6e1.rmeta: tests/figures.rs Cargo.toml
+
+tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

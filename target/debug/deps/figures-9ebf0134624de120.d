@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9ebf0134624de120.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9ebf0134624de120: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ddc1edd309e2f5f3.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-ddc1edd309e2f5f3: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/goto-3a24d9439e42c614.d: crates/frontend/tests/goto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoto-3a24d9439e42c614.rmeta: crates/frontend/tests/goto.rs Cargo.toml
+
+crates/frontend/tests/goto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/goto-e2549ac9ef2c9620.d: crates/frontend/tests/goto.rs
+
+/root/repo/target/debug/deps/goto-e2549ac9ef2c9620: crates/frontend/tests/goto.rs
+
+crates/frontend/tests/goto.rs:

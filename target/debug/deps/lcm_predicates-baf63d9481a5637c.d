@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lcm_predicates-baf63d9481a5637c.d: crates/core/tests/lcm_predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblcm_predicates-baf63d9481a5637c.rmeta: crates/core/tests/lcm_predicates.rs Cargo.toml
+
+crates/core/tests/lcm_predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

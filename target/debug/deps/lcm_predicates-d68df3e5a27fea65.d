@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lcm_predicates-d68df3e5a27fea65.d: crates/core/tests/lcm_predicates.rs
+
+/root/repo/target/debug/deps/lcm_predicates-d68df3e5a27fea65: crates/core/tests/lcm_predicates.rs
+
+crates/core/tests/lcm_predicates.rs:

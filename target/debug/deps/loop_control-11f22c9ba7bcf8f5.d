@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loop_control-11f22c9ba7bcf8f5.d: crates/frontend/tests/loop_control.rs
+
+/root/repo/target/debug/deps/loop_control-11f22c9ba7bcf8f5: crates/frontend/tests/loop_control.rs
+
+crates/frontend/tests/loop_control.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loop_control-f57b7c478db5e3c4.d: crates/frontend/tests/loop_control.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloop_control-f57b7c478db5e3c4.rmeta: crates/frontend/tests/loop_control.rs Cargo.toml
+
+crates/frontend/tests/loop_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

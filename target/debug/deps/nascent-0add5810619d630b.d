@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent-0add5810619d630b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-0add5810619d630b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-0add5810619d630b.rmeta: src/lib.rs
+
+src/lib.rs:

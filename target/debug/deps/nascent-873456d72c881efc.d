@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nascent-873456d72c881efc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent-873456d72c881efc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascent-c04b342611fd180d.d: src/lib.rs
+
+/root/repo/target/debug/deps/nascent-c04b342611fd180d: src/lib.rs
+
+src/lib.rs:

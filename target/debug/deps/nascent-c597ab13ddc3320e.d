@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent-c597ab13ddc3320e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-c597ab13ddc3320e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnascent-c597ab13ddc3320e.rmeta: src/lib.rs
+
+src/lib.rs:

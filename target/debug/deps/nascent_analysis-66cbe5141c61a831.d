@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/nascent_analysis-66cbe5141c61a831.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+/root/repo/target/debug/deps/nascent_analysis-66cbe5141c61a831.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
 
-/root/repo/target/debug/deps/libnascent_analysis-66cbe5141c61a831.rlib: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+/root/repo/target/debug/deps/libnascent_analysis-66cbe5141c61a831.rlib: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
 
-/root/repo/target/debug/deps/libnascent_analysis-66cbe5141c61a831.rmeta: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+/root/repo/target/debug/deps/libnascent_analysis-66cbe5141c61a831.rmeta: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/context.rs:
@@ -12,3 +12,4 @@ crates/analysis/src/induction.rs:
 crates/analysis/src/loops.rs:
 crates/analysis/src/reach.rs:
 crates/analysis/src/ssa.rs:
+crates/analysis/src/vra.rs:

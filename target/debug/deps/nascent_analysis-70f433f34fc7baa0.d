@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nascent_analysis-70f433f34fc7baa0.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_analysis-70f433f34fc7baa0.rmeta: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/induction.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/reach.rs:
+crates/analysis/src/ssa.rs:
+crates/analysis/src/vra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/nascent_analysis-9470317b1a655c5e.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+/root/repo/target/debug/deps/nascent_analysis-9470317b1a655c5e.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
 
-/root/repo/target/debug/deps/nascent_analysis-9470317b1a655c5e: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs
+/root/repo/target/debug/deps/nascent_analysis-9470317b1a655c5e: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/context.rs:
@@ -10,3 +10,4 @@ crates/analysis/src/induction.rs:
 crates/analysis/src/loops.rs:
 crates/analysis/src/reach.rs:
 crates/analysis/src/ssa.rs:
+crates/analysis/src/vra.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nascent_analysis-9614f33d2ff764fa.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+/root/repo/target/debug/deps/nascent_analysis-9614f33d2ff764fa: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/induction.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/reach.rs:
+crates/analysis/src/ssa.rs:
+crates/analysis/src/vra.rs:

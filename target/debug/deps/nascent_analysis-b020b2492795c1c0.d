@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nascent_analysis-b020b2492795c1c0.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+/root/repo/target/debug/deps/libnascent_analysis-b020b2492795c1c0.rlib: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+/root/repo/target/debug/deps/libnascent_analysis-b020b2492795c1c0.rmeta: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/induction.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/reach.rs:
+crates/analysis/src/ssa.rs:
+crates/analysis/src/vra.rs:

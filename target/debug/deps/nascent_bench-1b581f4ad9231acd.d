@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascent_bench-1b581f4ad9231acd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nascent_bench-1b581f4ad9231acd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

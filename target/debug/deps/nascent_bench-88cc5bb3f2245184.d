@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_bench-88cc5bb3f2245184.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-88cc5bb3f2245184.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-88cc5bb3f2245184.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

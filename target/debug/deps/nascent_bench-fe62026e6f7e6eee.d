@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_bench-fe62026e6f7e6eee.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-fe62026e6f7e6eee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnascent_bench-fe62026e6f7e6eee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nascent_cback-1fa8bce65f04f45d.d: crates/cback/src/lib.rs crates/cback/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_cback-1fa8bce65f04f45d.rmeta: crates/cback/src/lib.rs crates/cback/src/runner.rs Cargo.toml
+
+crates/cback/src/lib.rs:
+crates/cback/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

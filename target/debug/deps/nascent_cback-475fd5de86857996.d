@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nascent_cback-475fd5de86857996.d: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+/root/repo/target/debug/deps/nascent_cback-475fd5de86857996: crates/cback/src/lib.rs crates/cback/src/runner.rs
+
+crates/cback/src/lib.rs:
+crates/cback/src/runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nascent_classic-30c2d9a2d8b2d967.d: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+/root/repo/target/debug/deps/libnascent_classic-30c2d9a2d8b2d967.rlib: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+/root/repo/target/debug/deps/libnascent_classic-30c2d9a2d8b2d967.rmeta: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/cfg.rs:
+crates/classic/src/dce.rs:
+crates/classic/src/valueprop.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nascent_classic-daf23ac5bb910426.d: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+/root/repo/target/debug/deps/nascent_classic-daf23ac5bb910426: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/cfg.rs:
+crates/classic/src/dce.rs:
+crates/classic/src/valueprop.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nascent_interp-550d86def7cd5af2.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
+
+/root/repo/target/debug/deps/nascent_interp-550d86def7cd5af2: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:

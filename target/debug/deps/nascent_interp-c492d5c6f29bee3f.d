@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nascent_interp-c492d5c6f29bee3f.d: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_interp-c492d5c6f29bee3f.rmeta: crates/interp/src/lib.rs crates/interp/src/bytecode.rs crates/interp/src/machine.rs crates/interp/src/vm.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/bytecode.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/nascent_rangecheck-8e5007b8b5e7793e.d: crates/core/src/lib.rs crates/core/src/cig.rs crates/core/src/dataflow.rs crates/core/src/discharge.rs crates/core/src/elim.rs crates/core/src/fold.rs crates/core/src/inx.rs crates/core/src/justify.rs crates/core/src/lcm.rs crates/core/src/mcm.rs crates/core/src/preheader.rs crates/core/src/report.rs crates/core/src/strength.rs crates/core/src/universe.rs crates/core/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_rangecheck-8e5007b8b5e7793e.rmeta: crates/core/src/lib.rs crates/core/src/cig.rs crates/core/src/dataflow.rs crates/core/src/discharge.rs crates/core/src/elim.rs crates/core/src/fold.rs crates/core/src/inx.rs crates/core/src/justify.rs crates/core/src/lcm.rs crates/core/src/mcm.rs crates/core/src/preheader.rs crates/core/src/report.rs crates/core/src/strength.rs crates/core/src/universe.rs crates/core/src/util.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cig.rs:
+crates/core/src/dataflow.rs:
+crates/core/src/discharge.rs:
+crates/core/src/elim.rs:
+crates/core/src/fold.rs:
+crates/core/src/inx.rs:
+crates/core/src/justify.rs:
+crates/core/src/lcm.rs:
+crates/core/src/mcm.rs:
+crates/core/src/preheader.rs:
+crates/core/src/report.rs:
+crates/core/src/strength.rs:
+crates/core/src/universe.rs:
+crates/core/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

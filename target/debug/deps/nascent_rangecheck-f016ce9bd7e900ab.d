@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/nascent_rangecheck-f016ce9bd7e900ab.d: crates/core/src/lib.rs crates/core/src/cig.rs crates/core/src/dataflow.rs crates/core/src/discharge.rs crates/core/src/elim.rs crates/core/src/fold.rs crates/core/src/inx.rs crates/core/src/justify.rs crates/core/src/lcm.rs crates/core/src/mcm.rs crates/core/src/preheader.rs crates/core/src/report.rs crates/core/src/strength.rs crates/core/src/universe.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/libnascent_rangecheck-f016ce9bd7e900ab.rlib: crates/core/src/lib.rs crates/core/src/cig.rs crates/core/src/dataflow.rs crates/core/src/discharge.rs crates/core/src/elim.rs crates/core/src/fold.rs crates/core/src/inx.rs crates/core/src/justify.rs crates/core/src/lcm.rs crates/core/src/mcm.rs crates/core/src/preheader.rs crates/core/src/report.rs crates/core/src/strength.rs crates/core/src/universe.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/libnascent_rangecheck-f016ce9bd7e900ab.rmeta: crates/core/src/lib.rs crates/core/src/cig.rs crates/core/src/dataflow.rs crates/core/src/discharge.rs crates/core/src/elim.rs crates/core/src/fold.rs crates/core/src/inx.rs crates/core/src/justify.rs crates/core/src/lcm.rs crates/core/src/mcm.rs crates/core/src/preheader.rs crates/core/src/report.rs crates/core/src/strength.rs crates/core/src/universe.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cig.rs:
+crates/core/src/dataflow.rs:
+crates/core/src/discharge.rs:
+crates/core/src/elim.rs:
+crates/core/src/fold.rs:
+crates/core/src/inx.rs:
+crates/core/src/justify.rs:
+crates/core/src/lcm.rs:
+crates/core/src/mcm.rs:
+crates/core/src/preheader.rs:
+crates/core/src/report.rs:
+crates/core/src/strength.rs:
+crates/core/src/universe.rs:
+crates/core/src/util.rs:

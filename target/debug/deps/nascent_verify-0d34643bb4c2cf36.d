@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_verify-0d34643bb4c2cf36.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/nascent_verify-0d34643bb4c2cf36: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nascent_verify-2f9b2d39932b4ba1.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascent_verify-2f9b2d39932b4ba1.rmeta: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

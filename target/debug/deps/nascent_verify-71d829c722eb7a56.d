@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nascent_verify-71d829c722eb7a56.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/nascent_verify-71d829c722eb7a56: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nascent_verify-ec1a38be36efece7.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/libnascent_verify-ec1a38be36efece7.rlib: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/libnascent_verify-ec1a38be36efece7.rmeta: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

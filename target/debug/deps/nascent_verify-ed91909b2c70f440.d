@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nascent_verify-ed91909b2c70f440.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/libnascent_verify-ed91909b2c70f440.rlib: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/debug/deps/libnascent_verify-ed91909b2c70f440.rmeta: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nascentc-0540351613e16794.d: src/bin/nascentc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnascentc-0540351613e16794.rmeta: src/bin/nascentc.rs Cargo.toml
+
+src/bin/nascentc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascentc-9cf77540b34073ae.d: src/bin/nascentc.rs
+
+/root/repo/target/debug/deps/nascentc-9cf77540b34073ae: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

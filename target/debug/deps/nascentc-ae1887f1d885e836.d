@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascentc-ae1887f1d885e836.d: src/bin/nascentc.rs
+
+/root/repo/target/debug/deps/nascentc-ae1887f1d885e836: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

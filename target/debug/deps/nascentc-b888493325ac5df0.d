@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nascentc-b888493325ac5df0.d: src/bin/nascentc.rs
+
+/root/repo/target/debug/deps/nascentc-b888493325ac5df0: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-aee58043945936ed.d: tests/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-aee58043945936ed.rmeta: tests/oracle.rs Cargo.toml
+
+tests/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

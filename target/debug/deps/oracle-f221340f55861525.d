@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-f221340f55861525.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-f221340f55861525: tests/oracle.rs
+
+tests/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parameters-0cae51de99e39a8c.d: crates/frontend/tests/parameters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparameters-0cae51de99e39a8c.rmeta: crates/frontend/tests/parameters.rs Cargo.toml
+
+crates/frontend/tests/parameters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parameters-3286f9149426c850.d: crates/frontend/tests/parameters.rs
+
+/root/repo/target/debug/deps/parameters-3286f9149426c850: crates/frontend/tests/parameters.rs
+
+crates/frontend/tests/parameters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pass_context-10ea8d4ac1e58d93.d: crates/core/tests/pass_context.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpass_context-10ea8d4ac1e58d93.rmeta: crates/core/tests/pass_context.rs Cargo.toml
+
+crates/core/tests/pass_context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pass_context-da937c00d479598a.d: crates/core/tests/pass_context.rs
+
+/root/repo/target/debug/deps/pass_context-da937c00d479598a: crates/core/tests/pass_context.rs
+
+crates/core/tests/pass_context.rs:

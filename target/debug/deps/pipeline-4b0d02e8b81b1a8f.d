@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-4b0d02e8b81b1a8f.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-4b0d02e8b81b1a8f: tests/pipeline.rs
+
+tests/pipeline.rs:

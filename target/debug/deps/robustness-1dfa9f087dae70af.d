@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-1dfa9f087dae70af.d: crates/frontend/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-1dfa9f087dae70af: crates/frontend/tests/robustness.rs
+
+crates/frontend/tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-b575e2e965e98cd3.d: crates/frontend/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-b575e2e965e98cd3.rmeta: crates/frontend/tests/robustness.rs Cargo.toml
+
+crates/frontend/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

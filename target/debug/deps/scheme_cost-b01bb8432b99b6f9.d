@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_cost-b01bb8432b99b6f9.d: crates/bench/benches/scheme_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_cost-b01bb8432b99b6f9.rmeta: crates/bench/benches/scheme_cost.rs Cargo.toml
+
+crates/bench/benches/scheme_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

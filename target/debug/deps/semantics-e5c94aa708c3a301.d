@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-e5c94aa708c3a301.d: crates/interp/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-e5c94aa708c3a301: crates/interp/tests/semantics.rs
+
+crates/interp/tests/semantics.rs:

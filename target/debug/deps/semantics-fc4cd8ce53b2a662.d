@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-fc4cd8ce53b2a662.d: crates/interp/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-fc4cd8ce53b2a662.rmeta: crates/interp/tests/semantics.rs Cargo.toml
+
+crates/interp/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

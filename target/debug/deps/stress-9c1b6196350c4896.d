@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-9c1b6196350c4896.d: crates/core/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-9c1b6196350c4896: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

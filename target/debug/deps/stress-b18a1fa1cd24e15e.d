@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-b18a1fa1cd24e15e.d: crates/core/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-b18a1fa1cd24e15e.rmeta: crates/core/tests/stress.rs Cargo.toml
+
+crates/core/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-09d14c6fed977178.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-09d14c6fed977178: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f7e2580e09f61594.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f7e2580e09f61594: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-21f5484f9b7c085d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-21f5484f9b7c085d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4283e5ed33499beb.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4283e5ed33499beb: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

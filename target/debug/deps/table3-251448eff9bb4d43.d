@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-251448eff9bb4d43.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-251448eff9bb4d43: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b442136527de2064.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b442136527de2064: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-2bb8af8d161d2b4d.d: crates/interp/tests/trace.rs
+
+/root/repo/target/debug/deps/trace-2bb8af8d161d2b4d: crates/interp/tests/trace.rs
+
+crates/interp/tests/trace.rs:

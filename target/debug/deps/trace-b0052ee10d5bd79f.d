@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-b0052ee10d5bd79f.d: crates/interp/tests/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-b0052ee10d5bd79f.rmeta: crates/interp/tests/trace.rs Cargo.toml
+
+crates/interp/tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trap_semantics-356576f054d48fc8.d: tests/trap_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrap_semantics-356576f054d48fc8.rmeta: tests/trap_semantics.rs Cargo.toml
+
+tests/trap_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

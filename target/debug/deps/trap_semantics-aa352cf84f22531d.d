@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trap_semantics-aa352cf84f22531d.d: tests/trap_semantics.rs
+
+/root/repo/target/debug/deps/trap_semantics-aa352cf84f22531d: tests/trap_semantics.rs
+
+tests/trap_semantics.rs:

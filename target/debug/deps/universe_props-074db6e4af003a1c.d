@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/universe_props-074db6e4af003a1c.d: crates/core/tests/universe_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniverse_props-074db6e4af003a1c.rmeta: crates/core/tests/universe_props.rs Cargo.toml
+
+crates/core/tests/universe_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

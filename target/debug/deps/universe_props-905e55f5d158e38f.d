@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/universe_props-905e55f5d158e38f.d: crates/core/tests/universe_props.rs
+
+/root/repo/target/debug/deps/universe_props-905e55f5d158e38f: crates/core/tests/universe_props.rs
+
+crates/core/tests/universe_props.rs:

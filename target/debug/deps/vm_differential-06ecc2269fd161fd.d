@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_differential-06ecc2269fd161fd.d: crates/interp/tests/vm_differential.rs
+
+/root/repo/target/debug/deps/vm_differential-06ecc2269fd161fd: crates/interp/tests/vm_differential.rs
+
+crates/interp/tests/vm_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_differential-6a5da26e103cae5f.d: crates/interp/tests/vm_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_differential-6a5da26e103cae5f.rmeta: crates/interp/tests/vm_differential.rs Cargo.toml
+
+crates/interp/tests/vm_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vra_props-58adcf9872bf45af.d: crates/analysis/tests/vra_props.rs
+
+/root/repo/target/debug/deps/vra_props-58adcf9872bf45af: crates/analysis/tests/vra_props.rs
+
+crates/analysis/tests/vra_props.rs:

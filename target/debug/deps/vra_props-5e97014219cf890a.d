@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vra_props-5e97014219cf890a.d: crates/verify/tests/vra_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvra_props-5e97014219cf890a.rmeta: crates/verify/tests/vra_props.rs Cargo.toml
+
+crates/verify/tests/vra_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vra_props-96badfbdde2b1d49.d: crates/verify/tests/vra_props.rs
+
+/root/repo/target/debug/deps/vra_props-96badfbdde2b1d49: crates/verify/tests/vra_props.rs
+
+crates/verify/tests/vra_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vra_props-ade62c3ce10888dc.d: crates/analysis/tests/vra_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvra_props-ade62c3ce10888dc.rmeta: crates/analysis/tests/vra_props.rs Cargo.toml
+
+crates/analysis/tests/vra_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vra_props-fc7255f433e51d73.d: crates/verify/tests/vra_props.rs
+
+/root/repo/target/debug/deps/vra_props-fc7255f433e51d73: crates/verify/tests/vra_props.rs
+
+crates/verify/tests/vra_props.rs:

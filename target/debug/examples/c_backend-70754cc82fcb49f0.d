@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/c_backend-70754cc82fcb49f0.d: examples/c_backend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libc_backend-70754cc82fcb49f0.rmeta: examples/c_backend.rs Cargo.toml
+
+examples/c_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/c_backend-c83383c6df3e3b33.d: examples/c_backend.rs
+
+/root/repo/target/debug/examples/c_backend-c83383c6df3e3b33: examples/c_backend.rs
+
+examples/c_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hoisting_tour-c256ab376f5a2b96.d: examples/hoisting_tour.rs
+
+/root/repo/target/debug/examples/hoisting_tour-c256ab376f5a2b96: examples/hoisting_tour.rs
+
+examples/hoisting_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hoisting_tour-e1cfe96b2ce00c9c.d: examples/hoisting_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhoisting_tour-e1cfe96b2ce00c9c.rmeta: examples/hoisting_tour.rs Cargo.toml
+
+examples/hoisting_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

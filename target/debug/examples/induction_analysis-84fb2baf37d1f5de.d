@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/induction_analysis-84fb2baf37d1f5de.d: examples/induction_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinduction_analysis-84fb2baf37d1f5de.rmeta: examples/induction_analysis.rs Cargo.toml
+
+examples/induction_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

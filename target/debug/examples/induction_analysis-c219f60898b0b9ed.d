@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/induction_analysis-c219f60898b0b9ed.d: examples/induction_analysis.rs
+
+/root/repo/target/debug/examples/induction_analysis-c219f60898b0b9ed: examples/induction_analysis.rs
+
+examples/induction_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a8be81c2c9d1a240.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a8be81c2c9d1a240: examples/quickstart.rs
+
+examples/quickstart.rs:

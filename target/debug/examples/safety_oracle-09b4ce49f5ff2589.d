@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/safety_oracle-09b4ce49f5ff2589.d: examples/safety_oracle.rs
+
+/root/repo/target/debug/examples/safety_oracle-09b4ce49f5ff2589: examples/safety_oracle.rs
+
+examples/safety_oracle.rs:

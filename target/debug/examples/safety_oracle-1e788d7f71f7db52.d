@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/safety_oracle-1e788d7f71f7db52.d: examples/safety_oracle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsafety_oracle-1e788d7f71f7db52.rmeta: examples/safety_oracle.rs Cargo.toml
+
+examples/safety_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

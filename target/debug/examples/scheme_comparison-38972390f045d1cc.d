@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_comparison-38972390f045d1cc.d: examples/scheme_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_comparison-38972390f045d1cc.rmeta: examples/scheme_comparison.rs Cargo.toml
+
+examples/scheme_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_comparison-65b26eae79c3ab6a.d: examples/scheme_comparison.rs
+
+/root/repo/target/debug/examples/scheme_comparison-65b26eae79c3ab6a: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-962f519b1fb58029.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-962f519b1fb58029: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

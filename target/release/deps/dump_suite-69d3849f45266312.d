@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dump_suite-69d3849f45266312.d: crates/bench/src/bin/dump_suite.rs
+
+/root/repo/target/release/deps/dump_suite-69d3849f45266312: crates/bench/src/bin/dump_suite.rs
+
+crates/bench/src/bin/dump_suite.rs:

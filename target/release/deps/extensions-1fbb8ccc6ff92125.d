@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-1fbb8ccc6ff92125.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-1fbb8ccc6ff92125: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

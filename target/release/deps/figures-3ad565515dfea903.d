@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-3ad565515dfea903.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-3ad565515dfea903: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nascent-af09e08a7e95c2f4.d: src/lib.rs
+
+/root/repo/target/release/deps/libnascent-af09e08a7e95c2f4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnascent-af09e08a7e95c2f4.rmeta: src/lib.rs
+
+src/lib.rs:

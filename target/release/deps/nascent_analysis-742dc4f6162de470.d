@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/nascent_analysis-742dc4f6162de470.d: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+/root/repo/target/release/deps/libnascent_analysis-742dc4f6162de470.rlib: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+/root/repo/target/release/deps/libnascent_analysis-742dc4f6162de470.rmeta: crates/analysis/src/lib.rs crates/analysis/src/context.rs crates/analysis/src/dataflow.rs crates/analysis/src/dom.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/reach.rs crates/analysis/src/ssa.rs crates/analysis/src/vra.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/induction.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/reach.rs:
+crates/analysis/src/ssa.rs:
+crates/analysis/src/vra.rs:

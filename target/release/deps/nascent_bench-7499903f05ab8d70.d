@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nascent_bench-7499903f05ab8d70.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnascent_bench-7499903f05ab8d70.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnascent_bench-7499903f05ab8d70.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nascent_classic-5fb5e61915cb448a.d: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+/root/repo/target/release/deps/libnascent_classic-5fb5e61915cb448a.rlib: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+/root/repo/target/release/deps/libnascent_classic-5fb5e61915cb448a.rmeta: crates/classic/src/lib.rs crates/classic/src/cfg.rs crates/classic/src/dce.rs crates/classic/src/valueprop.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/cfg.rs:
+crates/classic/src/dce.rs:
+crates/classic/src/valueprop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nascent_verify-deecff9ea01b5377.d: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/release/deps/libnascent_verify-deecff9ea01b5377.rlib: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+/root/repo/target/release/deps/libnascent_verify-deecff9ea01b5377.rmeta: crates/verify/src/lib.rs crates/verify/src/vra.rs crates/verify/src/validate.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/vra.rs:
+crates/verify/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nascentc-2b35159c7bc4edf1.d: src/bin/nascentc.rs
+
+/root/repo/target/release/deps/nascentc-2b35159c7bc4edf1: src/bin/nascentc.rs
+
+src/bin/nascentc.rs:

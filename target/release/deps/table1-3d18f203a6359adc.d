@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3d18f203a6359adc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3d18f203a6359adc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

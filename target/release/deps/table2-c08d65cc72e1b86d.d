@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c08d65cc72e1b86d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c08d65cc72e1b86d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

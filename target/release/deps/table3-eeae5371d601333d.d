@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-eeae5371d601333d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-eeae5371d601333d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:
