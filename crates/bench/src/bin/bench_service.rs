@@ -1,0 +1,337 @@
+//! Drives a `nascentd` service with concurrent clients over the full
+//! 42-configuration × 10-program matrix and proves the service path is
+//! **bit-identical** to the CLI path: every response's `result` object
+//! is compared byte-for-byte against a locally computed
+//! [`nascent_driver::compute`] outcome for the same request.
+//!
+//! Three phases:
+//!
+//! 1. local reference outcomes for every (cell, mode) pair,
+//! 2. round A — N concurrent clients drain mixed `/optimize` +
+//!    `/certify` requests (every key a cache miss),
+//! 3. round B — the `/certify` half again (every key a cache hit; the
+//!    bytes must not change).
+//!
+//! Exit is non-zero if any request fails (non-200), any response
+//! diverges from the CLI path, or the service rejected anything
+//! (`503`) — the queue is sized so backpressure must never fire here.
+//!
+//! Emits a `BENCH_8.json` snapshot: the engine numbers of the
+//! `bench_snapshot` format plus a `service` section (throughput,
+//! latency percentiles, cache hit rate).
+//!
+//! Usage: `bench_service [--addr HOST:PORT] [--clients N] [out.json]`
+//! (default: in-process server, 64 clients, `BENCH_8.json`).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use nascent_bench::{full_matrix_configs, harness_limits, prepare, run_matrix, Config};
+use nascent_driver::config::Mode;
+use nascent_driver::http::request;
+use nascent_driver::json::{obj, parse, Json};
+use nascent_driver::service::{start, ServiceConfig};
+use nascent_driver::{compute, Request, RunConfig};
+use nascent_interp::{run, run_compiled};
+use nascent_rangecheck::{CheckKind, ImplicationMode};
+use nascent_suite::{suite, Scale};
+
+/// Best-of-N wall time of `f`, in nanoseconds.
+fn best_ns<F: FnMut()>(mut f: F) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// One service request to issue and check: the wire body plus the
+/// locally computed reference bytes it must match.
+struct Job {
+    path: &'static str,
+    body: String,
+    reference: String,
+    label: String,
+}
+
+fn body_json(source: &str, cfg: &Config) -> String {
+    obj(vec![
+        ("program", Json::Str(source.into())),
+        ("scheme", Json::Str(cfg.opts.scheme.name().into())),
+        (
+            "kind",
+            Json::Str(
+                match cfg.opts.kind {
+                    CheckKind::Prx => "prx",
+                    CheckKind::Inx => "inx",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "implications",
+            Json::Str(
+                match cfg.opts.implications {
+                    ImplicationMode::All => "all",
+                    ImplicationMode::CrossFamilyOnly => "cross",
+                    ImplicationMode::None => "none",
+                }
+                .into(),
+            ),
+        ),
+    ])
+    .render()
+}
+
+fn main() -> ExitCode {
+    let mut addr_arg: Option<String> = None;
+    let mut clients = 64usize;
+    let mut out_path = "BENCH_8.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr_arg = Some(args.get(i).expect("--addr needs a value").clone());
+            }
+            "--clients" => {
+                i += 1;
+                clients = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a number");
+            }
+            other => out_path = other.to_string(),
+        }
+        i += 1;
+    }
+
+    let benches = suite(Scale::Small);
+    let configs = full_matrix_configs();
+    assert_eq!(configs.len(), 42, "the full matrix is 42 configurations");
+    eprintln!(
+        "bench_service: {} configs x {} programs, {} concurrent clients",
+        configs.len(),
+        benches.len(),
+        clients
+    );
+
+    // ---- local reference: the CLI path, computed in-process ----
+    let limits = harness_limits();
+    let cells: Vec<(usize, usize, Mode)> = (0..configs.len())
+        .flat_map(|c| (0..benches.len()).map(move |b| (c, b)))
+        .flat_map(|(c, b)| [(c, b, Mode::Optimize), (c, b, Mode::Certify)])
+        .collect();
+    let t_local = Instant::now();
+    let slots: Vec<Mutex<Option<Job>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..nascent_bench::matrix_threads(cells.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(ci, bi, mode)) = cells.get(i) else {
+                    break;
+                };
+                let cfg = &configs[ci];
+                let bench = &benches[bi];
+                let req = Request {
+                    program: bench.source.clone(),
+                    config: RunConfig::from_opts(&cfg.opts),
+                    mode,
+                };
+                let outcome = compute(&req, &limits).expect("suite cell computes");
+                *slots[i].lock().expect("slot") = Some(Job {
+                    path: match mode {
+                        Mode::Optimize => "/optimize",
+                        Mode::Certify => "/certify",
+                    },
+                    body: body_json(&bench.source, cfg),
+                    reference: outcome.deterministic_json().render(),
+                    label: format!("{} {} {:?}", bench.name, cfg.label, mode),
+                });
+            });
+        }
+    });
+    let jobs: Vec<Job> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("job computed"))
+        .collect();
+    eprintln!(
+        "bench_service: {} local references in {:.1}s",
+        jobs.len(),
+        t_local.elapsed().as_secs_f64()
+    );
+
+    // ---- the server: external (--addr) or in-process ----
+    let in_process = addr_arg.is_none().then(|| {
+        start(ServiceConfig {
+            queue_limit: clients * 8,
+            ..ServiceConfig::default()
+        })
+        .expect("server starts")
+    });
+    let addr = addr_arg.unwrap_or_else(|| in_process.as_ref().unwrap().addr.to_string());
+
+    // ---- rounds A and B: concurrent mixed requests + byte parity ----
+    let divergences = AtomicUsize::new(0);
+    let non_200 = AtomicUsize::new(0);
+    let drive = |round: &'static str, only_certify: bool| {
+        let pool: Vec<&Job> = jobs
+            .iter()
+            .filter(|j| !only_certify || j.path == "/certify")
+            .collect();
+        let next = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..clients {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = pool.get(i) else { break };
+                    match request(&addr, "POST", job.path, job.body.as_bytes()) {
+                        Ok((200, body)) => {
+                            let response =
+                                parse(std::str::from_utf8(&body).expect("utf-8 response"))
+                                    .expect("json response");
+                            let got = response.get("result").expect("result field").render();
+                            if got != job.reference {
+                                eprintln!("DIVERGENCE at {}", job.label);
+                                divergences.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok((status, body)) => {
+                            eprintln!(
+                                "{} -> {status}: {}",
+                                job.label,
+                                String::from_utf8_lossy(&body)
+                            );
+                            non_200.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("{} -> transport error: {e}", job.label);
+                            non_200.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "bench_service: round {round}: {} requests in {:.2}s ({:.0} req/s)",
+            pool.len(),
+            secs,
+            pool.len() as f64 / secs.max(1e-9)
+        );
+        (pool.len(), secs)
+    };
+    let (count_a, secs_a) = drive("A (all misses)", false);
+    let (count_b, secs_b) = drive("B (all hits)", true);
+
+    // ---- service-side accounting ----
+    let (status, body) = request(&addr, "GET", "/metrics", b"").expect("metrics reachable");
+    assert_eq!(status, 200, "metrics endpoint failed");
+    let metrics = parse(std::str::from_utf8(&body).expect("utf-8")).expect("metrics json");
+    let int_at = |a: &str, b: &str| {
+        metrics
+            .get(a)
+            .and_then(|v| v.get(b))
+            .and_then(Json::as_i64)
+            .unwrap_or(-1)
+    };
+    let num_at = |a: &str, b: &str| {
+        metrics
+            .get(a)
+            .and_then(|v| v.get(b))
+            .and_then(Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    let rejected = int_at("responses", "503");
+    let hit_rate = num_at("cache", "hit_rate");
+    let total = (count_a + count_b) as f64;
+    let throughput = total / (secs_a + secs_b).max(1e-9);
+
+    let divergences = divergences.load(Ordering::Relaxed);
+    let non_200 = non_200.load(Ordering::Relaxed);
+    eprintln!(
+        "bench_service: non_200={non_200} divergences={divergences} rejected={rejected} \
+         cache_hit_rate={hit_rate:.4} p50={}ms p99={}ms",
+        num_at("latency_ms", "p50"),
+        num_at("latency_ms", "p99"),
+    );
+
+    // ---- the BENCH_8.json snapshot: engine numbers + service section ----
+    let prepared: Vec<_> = benches.iter().map(prepare).collect();
+    let mut programs = String::new();
+    for (i, pb) in prepared.iter().enumerate() {
+        let steps = pb.naive.dynamic_instructions + pb.naive.dynamic_checks;
+        let tree_ns = best_ns(|| {
+            run(&pb.checked, &limits).expect("runs");
+        });
+        let vm_ns = best_ns(|| {
+            run_compiled(&pb.lowered, &limits).expect("runs");
+        });
+        let per = |ns: u128| ns as f64 / steps.max(1) as f64;
+        if i > 0 {
+            programs.push_str(",\n");
+        }
+        write!(
+            programs,
+            "    {{\"name\": \"{}\", \"steps\": {}, \"dynamic_checks\": {}, \
+             \"tree_ns\": {}, \"vm_ns\": {}, \
+             \"tree_ns_per_step\": {:.2}, \"vm_ns_per_step\": {:.2}, \
+             \"speedup\": {:.2}}}",
+            pb.bench.name,
+            steps,
+            pb.naive.dynamic_checks,
+            tree_ns,
+            vm_ns,
+            per(tree_ns),
+            per(vm_ns),
+            tree_ns as f64 / vm_ns.max(1) as f64,
+        )
+        .expect("write");
+    }
+    let report = run_matrix(&prepared, &configs, false);
+
+    let json = format!(
+        "{{\n  \"format\": \"bench-snapshot\",\n  \"pr\": 8,\n  \"suite_scale\": \"small\",\n  \
+         \"programs\": [\n{programs}\n  ],\n  \
+         \"matrix\": {{\"cells\": {}, \"threads\": {}, \"wall_ms\": {:.3}, \
+         \"serial_ms\": {:.3}, \"speedup\": {:.2}}},\n  \
+         \"service\": {{\"clients\": {clients}, \"requests\": {}, \
+         \"non_200\": {non_200}, \"divergences\": {divergences}, \"rejected\": {rejected}, \
+         \"throughput_rps\": {throughput:.1}, \
+         \"round_a_rps\": {:.1}, \"round_b_rps\": {:.1}, \
+         \"cache_hit_rate\": {hit_rate:.4}, \
+         \"latency_ms\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}}}\n}}\n",
+        report.cells.len(),
+        report.threads,
+        report.wall_time.as_secs_f64() * 1e3,
+        report.serial_time.as_secs_f64() * 1e3,
+        report.speedup(),
+        count_a + count_b,
+        count_a as f64 / secs_a.max(1e-9),
+        count_b as f64 / secs_b.max(1e-9),
+        num_at("latency_ms", "p50"),
+        num_at("latency_ms", "p90"),
+        num_at("latency_ms", "p99"),
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+
+    if let Some(server) = in_process {
+        server.stop();
+    }
+    if non_200 > 0 || divergences > 0 || rejected != 0 {
+        eprintln!("bench_service: FAILED (non_200={non_200} divergences={divergences} rejected={rejected})");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_service: service path is byte-identical to the CLI path");
+    ExitCode::SUCCESS
+}

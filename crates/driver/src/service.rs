@@ -1,0 +1,601 @@
+//! `nascentd` — the pipeline as a long-running optimize+certify service.
+//!
+//! Architecture (all std, no external runtime — the build must work
+//! without registry access):
+//!
+//! * an **acceptor** thread owns the listening socket; each accepted
+//!   connection is one request (`Connection: close`),
+//! * admission goes through a **semaphore-limited queue**: when
+//!   `queue_limit` requests are already admitted and unfinished, new
+//!   connections are rejected immediately with `503` — backpressure is
+//!   explicit, not an unbounded backlog (`GET /healthz` and
+//!   `GET /metrics` are exempt and answer even at saturation),
+//! * admitted connections are dealt round-robin to a **bounded
+//!   work-stealing pool**: every worker owns a deque, pops its own work
+//!   from the front, and steals from siblings' backs when idle, so one
+//!   slow request (a `certify` of a large program) never stalls the
+//!   queue behind it,
+//! * every request body is handled under **panic isolation**
+//!   ([`std::panic::catch_unwind`] here, plus the cache-level isolation
+//!   in [`crate::cache`]): a panicking request produces a `500` for its
+//!   client and a counter tick, never a dead worker,
+//! * all `/optimize` and `/certify` traffic flows through the shared
+//!   [`Pipeline`] and its fleet-wide result cache, so identical
+//!   requests — across all clients — compute once.
+//!
+//! Endpoints: `POST /optimize`, `POST /certify`, `GET /healthz`,
+//! `GET /metrics`.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nascent_interp::Limits;
+
+use crate::cache::panic_message;
+use crate::config::{
+    parse_discharge, parse_engine, parse_implications, parse_kind, parse_scheme, Mode,
+};
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::json::{obj, parse, Json};
+use crate::{harness, Outcome, Pipeline, Request, RunConfig};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Admitted-but-unfinished request limit (the backpressure bound).
+    pub queue_limit: usize,
+    /// Interpreter limits applied to every request.
+    pub limits: Limits,
+    /// Enables `POST /panic`, which panics inside the pool — only for
+    /// exercising panic isolation in tests.
+    pub test_endpoints: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            // floored at 128 so even a single-core box admits the
+            // 64-concurrent-client load the service is specified for
+            queue_limit: (workers * 16).max(128),
+            limits: harness::harness_limits(),
+            test_endpoints: false,
+        }
+    }
+}
+
+/// Counting semaphore (admission control).
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking acquire; `false` means the queue is full.
+    fn try_acquire(&self) -> bool {
+        let mut p = self.permits.lock().expect("semaphore lock");
+        if *p > 0 {
+            *p -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("semaphore lock") += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Service-wide counters, all monotone; snapshot rendered by `/metrics`.
+#[derive(Default)]
+pub struct Metrics {
+    optimize_requests: AtomicU64,
+    certify_requests: AtomicU64,
+    healthz_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    responses_200: AtomicU64,
+    responses_400: AtomicU64,
+    responses_404: AtomicU64,
+    responses_405: AtomicU64,
+    responses_500: AtomicU64,
+    responses_503: AtomicU64,
+    panics_isolated: AtomicU64,
+    queued: AtomicUsize,
+    stolen: AtomicU64,
+    /// Completed pipeline-request latencies, in microseconds.
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    fn count_response(&self, status: u16) {
+        let c = match status {
+            200 => &self.responses_200,
+            400 => &self.responses_400,
+            404 => &self.responses_404,
+            405 => &self.responses_405,
+            503 => &self.responses_503,
+            _ => &self.responses_500,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_latency(&self, d: Duration) {
+        let mut l = self.latencies_us.lock().expect("latency lock");
+        // keep the reservoir bounded; half a million requests is far more
+        // than any one process lifetime needs for stable percentiles
+        if l.len() < 500_000 {
+            l.push(d.as_micros() as u64);
+        }
+    }
+
+    fn percentile(sorted: &[u64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)] as f64 / 1e3
+    }
+
+    fn render(&self, pipeline: &Pipeline, workers: usize, queue_limit: usize) -> Json {
+        let cache = pipeline.cache_stats();
+        let mut lat = self.latencies_us.lock().expect("latency lock").clone();
+        lat.sort_unstable();
+        let ms = |v: f64| Json::Num((v * 1e3).round() / 1e3);
+        obj(vec![
+            (
+                "requests",
+                obj(vec![
+                    (
+                        "optimize",
+                        Json::Int(self.optimize_requests.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "certify",
+                        Json::Int(self.certify_requests.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "healthz",
+                        Json::Int(self.healthz_requests.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "metrics",
+                        Json::Int(self.metrics_requests.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "responses",
+                obj(vec![
+                    (
+                        "200",
+                        Json::Int(self.responses_200.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "400",
+                        Json::Int(self.responses_400.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "404",
+                        Json::Int(self.responses_404.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "405",
+                        Json::Int(self.responses_405.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "500",
+                        Json::Int(self.responses_500.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "503",
+                        Json::Int(self.responses_503.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Json::Int(cache.hits as i64)),
+                    ("misses", Json::Int(cache.misses as i64)),
+                    ("coalesced", Json::Int(cache.coalesced as i64)),
+                    ("entries", Json::Int(cache.entries as i64)),
+                    (
+                        "hit_rate",
+                        Json::Num((cache.hit_rate() * 1e4).round() / 1e4),
+                    ),
+                ]),
+            ),
+            (
+                "latency_ms",
+                obj(vec![
+                    ("count", Json::Int(lat.len() as i64)),
+                    ("p50", ms(Self::percentile(&lat, 0.50) / 1e3)),
+                    ("p90", ms(Self::percentile(&lat, 0.90) / 1e3)),
+                    ("p99", ms(Self::percentile(&lat, 0.99) / 1e3)),
+                    ("max", ms(lat.last().copied().unwrap_or(0) as f64 / 1e6)),
+                ]),
+            ),
+            (
+                "pool",
+                obj(vec![
+                    ("workers", Json::Int(workers as i64)),
+                    ("queue_limit", Json::Int(queue_limit as i64)),
+                    (
+                        "queued",
+                        Json::Int(self.queued.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "stolen",
+                        Json::Int(self.stolen.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "panics_isolated",
+                        Json::Int(self.panics_isolated.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+struct Shared {
+    config: ServiceConfig,
+    pipeline: Pipeline,
+    metrics: Metrics,
+    deques: Vec<Mutex<VecDeque<TcpStream>>>,
+    wakeup: Condvar,
+    wakeup_lock: Mutex<()>,
+    admission: Semaphore,
+    shutdown: AtomicBool,
+}
+
+/// A running service; dropping the handle does **not** stop it — call
+/// [`ServerHandle::stop`] (tests) or let the process own it (`nascentd`).
+pub struct ServerHandle {
+    /// The actual bound address (resolves `:0` bindings).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared pipeline (for asserting cache behavior in tests).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.shared.pipeline
+    }
+
+    /// Requests shutdown and joins every thread. In-flight requests
+    /// finish; queued-but-unstarted connections are dropped.
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // unblock the acceptor with one last connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.wakeup.notify_all();
+        for w in self.workers.drain(..) {
+            self.shared.wakeup.notify_all();
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the acceptor + worker pool.
+pub fn start(config: ServiceConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        pipeline: Pipeline::with_limits(config.limits),
+        metrics: Metrics::default(),
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        wakeup: Condvar::new(),
+        wakeup_lock: Mutex::new(()),
+        admission: Semaphore::new(config.queue_limit.max(1)),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let mut worker_handles = Vec::new();
+    for id in 0..workers {
+        let shared = Arc::clone(&shared);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("nascentd-worker-{id}"))
+                .spawn(move || worker_loop(id, &shared))
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("nascentd-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared))
+            .map_err(|e| e.to_string())?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Shared) {
+    let mut next_worker = 0usize;
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        if !shared.admission.try_acquire() {
+            // backpressure: the admitted-request budget is spent. Drain the
+            // request first (bounded by a short timeout) — closing with
+            // unread bytes in the socket would turn the polite 503 into a
+            // connection reset on the client side.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let request = read_request(&mut stream);
+            // GET endpoints stay responsive even when the work queue is
+            // full: a /healthz that 503s under load would make an
+            // orchestrator kill a busy-but-healthy instance, and /metrics
+            // is exactly what an operator wants to see at saturation.
+            // They do cheap in-memory reads, so serving them here on the
+            // acceptor thread is safe.
+            if let Ok(r) = &request {
+                if r.method == "GET" {
+                    let (status, body) = route(r, shared);
+                    shared.metrics.count_response(status);
+                    write_response(&mut stream, status, "application/json", body.as_bytes());
+                    continue;
+                }
+            }
+            shared.metrics.count_response(503);
+            let body = obj(vec![
+                ("status", Json::Str("error".into())),
+                ("error", Json::Str("queue full".into())),
+            ])
+            .render();
+            write_response(&mut stream, 503, "application/json", body.as_bytes());
+            continue;
+        }
+        shared.metrics.queued.fetch_add(1, Ordering::Relaxed);
+        let slot = next_worker % shared.deques.len();
+        next_worker = next_worker.wrapping_add(1);
+        shared.deques[slot]
+            .lock()
+            .expect("deque lock")
+            .push_back(stream);
+        shared.wakeup.notify_all();
+    }
+}
+
+fn take_job(id: usize, shared: &Shared) -> Option<(TcpStream, bool)> {
+    if let Some(job) = shared.deques[id].lock().expect("deque lock").pop_front() {
+        return Some((job, false));
+    }
+    for other in 0..shared.deques.len() {
+        if other == id {
+            continue;
+        }
+        if let Some(job) = shared.deques[other].lock().expect("deque lock").pop_back() {
+            return Some((job, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(id: usize, shared: &Shared) {
+    loop {
+        match take_job(id, shared) {
+            Some((stream, stolen)) => {
+                shared.metrics.queued.fetch_sub(1, Ordering::Relaxed);
+                if stolen {
+                    shared.metrics.stolen.fetch_add(1, Ordering::Relaxed);
+                }
+                serve_connection(stream, shared);
+                shared.admission.release();
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let guard = shared.wakeup_lock.lock().expect("wakeup lock");
+                let _ = shared
+                    .wakeup
+                    .wait_timeout(guard, Duration::from_millis(20))
+                    .expect("wakeup wait");
+            }
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.count_response(400);
+            let body = error_json(&format!("malformed request: {e}"));
+            write_response(&mut stream, 400, "application/json", body.as_bytes());
+            return;
+        }
+    };
+    // panic isolation: a request must never take its worker down
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(&request, shared)));
+    let (status, body) = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            shared
+                .metrics
+                .panics_isolated
+                .fetch_add(1, Ordering::Relaxed);
+            (
+                500,
+                error_json(&format!("panicked: {}", panic_message(payload.as_ref()))),
+            )
+        }
+    };
+    shared.metrics.count_response(status);
+    write_response(&mut stream, status, "application/json", body.as_bytes());
+}
+
+fn error_json(message: &str) -> String {
+    obj(vec![
+        ("status", Json::Str("error".into())),
+        ("error", Json::Str(message.into())),
+    ])
+    .render()
+}
+
+fn route(request: &HttpRequest, shared: &Shared) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared
+                .metrics
+                .healthz_requests
+                .fetch_add(1, Ordering::Relaxed);
+            (200, obj(vec![("status", Json::Str("ok".into()))]).render())
+        }
+        ("GET", "/metrics") => {
+            shared
+                .metrics
+                .metrics_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let body = shared
+                .metrics
+                .render(
+                    &shared.pipeline,
+                    shared.deques.len(),
+                    shared.config.queue_limit,
+                )
+                .render();
+            (200, body)
+        }
+        ("POST", "/optimize") => {
+            shared
+                .metrics
+                .optimize_requests
+                .fetch_add(1, Ordering::Relaxed);
+            pipeline_endpoint(request, Mode::Optimize, shared)
+        }
+        ("POST", "/certify") => {
+            shared
+                .metrics
+                .certify_requests
+                .fetch_add(1, Ordering::Relaxed);
+            pipeline_endpoint(request, Mode::Certify, shared)
+        }
+        ("POST", "/panic") if shared.config.test_endpoints => {
+            panic!("test endpoint requested a panic")
+        }
+        (_, "/healthz" | "/metrics") => (405, error_json("method not allowed")),
+        (_, "/optimize" | "/certify") => (405, error_json("method not allowed")),
+        _ => (404, error_json("no such endpoint")),
+    }
+}
+
+/// Parses a pipeline request body. Field spellings are exactly the CLI
+/// flag values — one config parser for both binaries ([`crate::config`]).
+pub fn parse_pipeline_request(body: &[u8], mode: Mode) -> Result<Request, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v = parse(text)?;
+    let Json::Obj(fields) = &v else {
+        return Err("body must be a JSON object".into());
+    };
+    let mut config = RunConfig::default();
+    let mut program = None;
+    for (key, value) in fields {
+        let as_str = || {
+            value
+                .as_str()
+                .ok_or_else(|| format!("field `{key}` must be a string"))
+        };
+        let as_bool = || {
+            value
+                .as_bool()
+                .ok_or_else(|| format!("field `{key}` must be a boolean"))
+        };
+        match key.as_str() {
+            "program" => program = Some(as_str()?.to_string()),
+            "scheme" => config.scheme = parse_scheme(as_str()?)?,
+            "kind" => config.kind = parse_kind(as_str()?)?,
+            "implications" => config.implications = parse_implications(as_str()?)?,
+            "discharge" => config.discharge = parse_discharge(as_str()?)?,
+            "engine" => config.engine = parse_engine(as_str()?)?,
+            "classic" => config.classic = as_bool()?,
+            "optimize" => config.optimize = as_bool()?,
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+    Ok(Request {
+        program: program.ok_or("missing field `program`")?,
+        config,
+        mode,
+    })
+}
+
+/// Renders a successful pipeline response. The `result` object is
+/// [`Outcome::deterministic_json`], so a cached response is byte-equal
+/// to the original computation and to the CLI path.
+pub fn render_pipeline_response(outcome: &Outcome, cached: bool) -> String {
+    obj(vec![
+        ("status", Json::Str("ok".into())),
+        ("cached", Json::Bool(cached)),
+        ("result", outcome.deterministic_json()),
+        (
+            "timing_ns",
+            obj(vec![
+                (
+                    "analysis",
+                    Json::Int(outcome.timings.analysis_nanos() as i64),
+                ),
+                ("pass", Json::Int(outcome.timings.pass_nanos() as i64)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+fn pipeline_endpoint(request: &HttpRequest, mode: Mode, shared: &Shared) -> (u16, String) {
+    let req = match parse_pipeline_request(&request.body, mode) {
+        Ok(r) => r,
+        Err(e) => return (400, error_json(&e)),
+    };
+    let before = shared.pipeline.cache_stats();
+    let t0 = Instant::now();
+    let result = shared.pipeline.run(&req);
+    shared.metrics.record_latency(t0.elapsed());
+    let after = shared.pipeline.cache_stats();
+    let cached = after.misses == before.misses;
+    match result {
+        Ok(outcome) => (200, render_pipeline_response(&outcome, cached)),
+        Err(e) => {
+            let status = if e.is_client_error() { 400 } else { 500 };
+            (status, error_json(&e.to_string()))
+        }
+    }
+}

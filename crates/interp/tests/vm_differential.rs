@@ -6,16 +6,14 @@
 //! grid, plus handwritten programs that actually trap or error (the suite
 //! itself is trap-free by construction).
 
+use nascent_driver::harness::{harness_limits, prepare};
 use nascent_frontend::compile;
 use nascent_interp::{lower, run, run_compiled, Limits, RunError, RunResult};
 use nascent_rangecheck::{optimize_program, CheckKind, Discharge, OptimizeOptions, Scheme};
 use nascent_suite::{suite, Scale};
 
 fn limits() -> Limits {
-    Limits {
-        max_steps: 2_000_000_000,
-        max_call_depth: 128,
-    }
+    harness_limits()
 }
 
 /// Runs `prog` on both engines and asserts identical results (or identical
@@ -80,10 +78,20 @@ fn assert_engines_agree(
 fn suite_times_schemes_times_kinds_is_engine_invariant() {
     let limits = limits();
     for b in suite(Scale::Small) {
-        let naive = compile(&b.source).expect("benchmark compiles");
+        // the driver harness's prepared baseline (compiled once, naive run
+        // on the VM) is the same baseline every other consumer uses; the
+        // dual-engine run must reproduce its counters exactly
+        let pb = prepare(&b);
+        let naive = pb.checked.clone();
         let baseline =
             assert_engines_agree(&format!("{} naive", b.name), &naive, &limits).expect("runs");
         assert!(baseline.trap.is_none(), "{} trapped", b.name);
+        assert_eq!(
+            baseline.dynamic_checks, pb.naive.dynamic_checks,
+            "{}: differential baseline disagrees with the harness baseline",
+            b.name
+        );
+        assert_eq!(baseline.output, pb.naive.output, "{}", b.name);
         for kind in [CheckKind::Prx, CheckKind::Inx] {
             for scheme in Scheme::EACH {
                 let opts = OptimizeOptions::scheme(scheme).with_kind(kind);

@@ -10,11 +10,10 @@ use nascent_rangecheck::{
 use nascent_suite::test_suite;
 use nascent_verify::certify_program;
 
+/// One compile+optimize+certify round trip — the driver's glue, shared
+/// with `nascentc verify` and the `nascentd` `/certify` endpoint.
 fn certify_source(src: &str, opts: &OptimizeOptions) -> nascent_verify::Certificate {
-    let naive = compile(src).unwrap();
-    let mut opt = naive.clone();
-    let (_, logs) = optimize_program_logged(&mut opt, opts);
-    certify_program(&naive, &opt, &logs, opts)
+    nascent_driver::certify_source(src, opts).expect("source compiles")
 }
 
 /// Every scheme × check kind × implication mode on the full ten-program

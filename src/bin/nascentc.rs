@@ -29,20 +29,23 @@
 //!                                           wall times (timings-format 1)
 //! ```
 //!
-//! `verify` (and `--certify`) re-optimizes with the justification log
-//! enabled and replays every decision through `nascent::verify`; the exit
-//! code is non-zero if any proof obligation fails.
+//! All pipeline glue lives in [`nascent::driver`]: the run configuration
+//! and its flag parser are [`RunConfig`] (shared verbatim with the
+//! `nascentd` service, where the same spellings arrive as JSON fields),
+//! and optimize/certify are the driver's [`apply`] /
+//! [`optimize_and_certify`]. `verify` (and `--certify`) re-optimizes
+//! with the justification log enabled and replays every decision through
+//! `nascent::verify`; the exit code is non-zero if any proof obligation
+//! fails.
 
 use std::process::ExitCode;
 
+use nascent::driver::{apply, optimize_and_certify, RunConfig};
 use nascent::frontend::compile;
-use nascent::interp::{run_with_engine, Engine, Limits};
+use nascent::interp::{run_with_engine, Limits};
 use nascent::ir::pretty::DisplayProgram;
-use nascent::rangecheck::{
-    optimize_program, optimize_program_logged_timed, CheckKind, Discharge, ImplicationMode,
-    JustLog, OptimizeOptions, OptimizeStats, Scheme, Timings,
-};
-use nascent::verify::{certify_program, Certificate};
+use nascent::rangecheck::{optimize_program, OptimizeOptions, Scheme};
+use nascent::verify::Certificate;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,104 +59,33 @@ fn main() -> ExitCode {
 }
 
 struct Options {
-    opts: OptimizeOptions,
-    optimize: bool,
-    classic: bool,
+    config: RunConfig,
     certify: bool,
     timings: bool,
-    engine: Engine,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
-    let mut opts = OptimizeOptions::scheme(Scheme::Lls);
-    let mut optimize = true;
-    let mut classic = false;
+    let mut config = RunConfig::default();
     let mut certify = false;
     let mut timings = false;
-    let mut engine = Engine::default();
     let mut i = 0;
     while i < rest.len() {
+        if config.parse_flag(rest, &mut i)? {
+            i += 1;
+            continue;
+        }
         match rest[i].as_str() {
-            "--scheme" => {
-                i += 1;
-                let name = rest.get(i).ok_or("--scheme needs a value")?;
-                opts.scheme = match name.to_ascii_uppercase().as_str() {
-                    "NI" => Scheme::Ni,
-                    "CS" => Scheme::Cs,
-                    "LNI" => Scheme::Lni,
-                    "SE" => Scheme::Se,
-                    "LI" => Scheme::Li,
-                    "LLS" => Scheme::Lls,
-                    "ALL" => Scheme::All,
-                    "MCM" => Scheme::Mcm,
-                    other => return Err(format!("unknown scheme `{other}`")),
-                };
-            }
-            "--inx" => opts.kind = CheckKind::Inx,
-            "--implications" => {
-                i += 1;
-                let mode = rest.get(i).ok_or("--implications needs a value")?;
-                opts.implications = match mode.as_str() {
-                    "all" => ImplicationMode::All,
-                    "cross" => ImplicationMode::CrossFamilyOnly,
-                    "none" => ImplicationMode::None,
-                    other => return Err(format!("unknown implication mode `{other}`")),
-                };
-            }
-            "--discharge" => {
-                i += 1;
-                let mode = rest.get(i).ok_or("--discharge needs a value")?;
-                opts.discharge = match mode.as_str() {
-                    "on" => Discharge::On,
-                    "off" => Discharge::Off,
-                    other => return Err(format!("unknown discharge mode `{other}`")),
-                };
-            }
-            "--no-opt" => optimize = false,
-            "--classic" => classic = true,
             "--certify" => certify = true,
             "--timings" => timings = true,
-            "--engine" => {
-                i += 1;
-                let name = rest.get(i).ok_or("--engine needs a value")?;
-                engine = name.parse::<Engine>()?;
-            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
     }
     Ok(Options {
-        opts,
-        optimize,
-        classic,
+        config,
         certify,
         timings,
-        engine,
     })
-}
-
-/// Applies the classic pre-pass, snapshots the reference program, runs the
-/// logged optimizer, and certifies the run. The reference is taken *after*
-/// the classic pre-pass: the certifier validates the range-check
-/// optimization, not the scalar optimizations.
-fn optimize_and_certify(
-    options: &Options,
-    prog: &mut nascent::ir::Program,
-) -> (OptimizeStats, Certificate, Timings) {
-    if options.classic {
-        for f in &mut prog.functions {
-            nascent::classic::optimize_classic(f);
-        }
-    }
-    let reference = prog.clone();
-    let (stats, logs, timings) = if options.optimize {
-        optimize_program_logged_timed(prog, &options.opts)
-    } else {
-        let logs = (0..prog.functions.len()).map(|_| JustLog::new()).collect();
-        (OptimizeStats::default(), logs, Timings::default())
-    };
-    let cert = certify_program(&reference, prog, &logs, &options.opts);
-    (stats, cert, timings)
 }
 
 /// Prints a certificate, diagnostics first; `Err` when it was rejected.
@@ -166,17 +98,6 @@ fn render_certificate(cert: &Certificate) -> Result<(), String> {
         Ok(())
     } else {
         Err(cert.to_string())
-    }
-}
-
-fn apply(options: &Options, prog: &mut nascent::ir::Program) {
-    if options.classic {
-        for f in &mut prog.functions {
-            nascent::classic::optimize_classic(f);
-        }
-    }
-    if options.optimize {
-        optimize_program(prog, &options.opts);
     }
 }
 
@@ -203,15 +124,15 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "dump" => {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            apply(&options, &mut prog);
+            apply(&options.config, &mut prog);
             print!("{}", DisplayProgram(&prog));
             Ok(())
         }
         "run" => {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            apply(&options, &mut prog);
-            let r = run_with_engine(&prog, &Limits::default(), options.engine)
+            apply(&options.config, &mut prog);
+            let r = run_with_engine(&prog, &Limits::default(), options.config.engine)
                 .map_err(|e| e.to_string())?;
             for v in &r.output {
                 println!("{v}");
@@ -231,8 +152,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "stats" => {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            let (stats, cert, timings) = optimize_and_certify(&options, &mut prog);
-            println!("scheme:            {}", options.opts.scheme.name());
+            let (stats, cert, timings) = optimize_and_certify(&options.config, &mut prog);
+            println!("scheme:            {}", options.config.scheme.name());
             println!(
                 "static checks:     {} -> {}",
                 stats.static_before, stats.static_after
@@ -265,7 +186,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             };
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            apply(&options, &mut prog);
+            apply(&options.config, &mut prog);
             let (r, trace) = nascent::interp::run_traced(&prog, &Limits::default(), count);
             for e in &trace {
                 println!("{}:{}[{}]  {}", e.function, e.block, e.stmt, e.rendered);
@@ -280,7 +201,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             let options = parse_options(rest)?;
             let before = load(file)?;
             let mut after = load(file)?;
-            let (_, cert, _) = optimize_and_certify(&options, &mut after);
+            let (_, cert, _) = optimize_and_certify(&options.config, &mut after);
             print!("{}", nascent::rangecheck::report::report(&before, &after));
             if options.certify {
                 render_certificate(&cert)?;
@@ -290,19 +211,20 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "verify" => {
             let options = parse_options(rest)?;
             let mut prog = load(file)?;
-            let (_, cert, _) = optimize_and_certify(&options, &mut prog);
+            let (_, cert, _) = optimize_and_certify(&options.config, &mut prog);
+            let opts = options.config.opts();
             println!(
                 "scheme {} / {:?} / {:?} implications",
-                options.opts.scheme.name(),
-                options.opts.kind,
-                options.opts.implications
+                opts.scheme.name(),
+                opts.kind,
+                opts.implications
             );
             render_certificate(&cert)
         }
         "compare" => {
             let options = parse_options(rest)?;
             let naive_prog = load(file)?;
-            let naive = run_with_engine(&naive_prog, &Limits::default(), options.engine)
+            let naive = run_with_engine(&naive_prog, &Limits::default(), options.config.engine)
                 .map_err(|e| e.to_string())?;
             println!(
                 "naive: {} dynamic checks / {} instructions",
@@ -312,7 +234,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             for scheme in Scheme::EACH.into_iter().chain([Scheme::Mcm]) {
                 let mut prog = load(file)?;
                 optimize_program(&mut prog, &OptimizeOptions::scheme(scheme));
-                let r = run_with_engine(&prog, &Limits::default(), options.engine)
+                let r = run_with_engine(&prog, &Limits::default(), options.config.engine)
                     .map_err(|e| e.to_string())?;
                 let pct =
                     100.0 * (1.0 - r.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);

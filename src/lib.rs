@@ -15,7 +15,10 @@
 //! * [`classic`] — traditional scalar optimizations (constant/copy
 //!   propagation, branch folding, DCE, CFG cleanup) usable as a pre-pass,
 //! * [`verify`] — the static safety certifier: symbolic value-range
-//!   analysis plus translation validation of every optimization decision.
+//!   analysis plus translation validation of every optimization decision,
+//! * [`driver`] — the canonical pipeline layer: one `Request` → `Outcome`
+//!   function behind a fleet-wide result cache, the shared run
+//!   configuration, the experiment harness, and the `nascentd` service.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 pub use nascent_analysis as analysis;
 pub use nascent_cback as cback;
 pub use nascent_classic as classic;
+pub use nascent_driver as driver;
 pub use nascent_frontend as frontend;
 pub use nascent_interp as interp;
 pub use nascent_ir as ir;
