@@ -30,12 +30,21 @@
 //! The context doubles as the timing surface for `--timings` reports:
 //! each analysis records computes, cache hits and cumulative wall time,
 //! and passes record their own wall time via [`PassContext::record_pass`].
+//! Since the obs integration, [`Timings`] is a thin view over
+//! `nascent_obs` spans: every compute and pass body runs inside a
+//! [`nascent_obs::trace::timed_span`], whose measured duration feeds
+//! these counters whether or not a trace recorder is active — so the
+//! stable `timings-format 1` report is byte-identical with tracing on or
+//! off, and enabling a recorder additionally captures the same intervals
+//! as Chrome-trace spans (category `analysis` or `pass`).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use nascent_obs::trace::timed_span;
 
 use nascent_ir::{Function, VarId};
 
@@ -175,6 +184,43 @@ impl Timings {
         ));
         out
     }
+
+    /// The same counters as [`Timings::report`], as one JSON object:
+    /// an array entry per analysis (`name`, `computed`, `hits`,
+    /// `time_ns`) and per pass (`name`, `runs`, `time_ns`), plus the
+    /// cache counters. Key order is fixed and map iteration is sorted,
+    /// so the output is deterministic for a given set of counters.
+    pub fn report_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"format\":1,\"analyses\":[");
+        for (i, (name, s)) in self.analyses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"computed\":{},\"hits\":{},\"time_ns\":{}}}",
+                s.computed, s.hits, s.nanos
+            );
+        }
+        out.push_str("],\"passes\":[");
+        for (i, (name, s)) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"runs\":{},\"time_ns\":{}}}",
+                s.runs, s.nanos
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"cache\":{{\"stale_detections\":{},\"invalidations\":{}}}}}",
+            self.stale_detections, self.invalidations
+        );
+        out
+    }
 }
 
 /// Structural fingerprint of a function's CFG: block count, entry, and
@@ -270,9 +316,9 @@ impl PassContext {
             self.timings.record_hit("dom");
             return Arc::clone(d);
         }
-        let t = Instant::now();
+        let sp = timed_span("dom", "analysis");
         let d = Arc::new(Dominators::compute(f));
-        self.timings.record_compute("dom", t.elapsed());
+        self.timings.record_compute("dom", sp.finish());
         self.cache.dom = Some(Arc::clone(&d));
         d
     }
@@ -284,9 +330,9 @@ impl PassContext {
             self.timings.record_hit("postdom");
             return Arc::clone(d);
         }
-        let t = Instant::now();
+        let sp = timed_span("postdom", "analysis");
         let d = Arc::new(PostDominators::compute(f));
-        self.timings.record_compute("postdom", t.elapsed());
+        self.timings.record_compute("postdom", sp.finish());
         self.cache.pdom = Some(Arc::clone(&d));
         d
     }
@@ -299,9 +345,9 @@ impl PassContext {
             return Arc::clone(l);
         }
         let dom = self.dominators(f);
-        let t = Instant::now();
+        let sp = timed_span("loops", "analysis");
         let l = Arc::new(LoopForest::compute_with(f, &dom));
-        self.timings.record_compute("loops", t.elapsed());
+        self.timings.record_compute("loops", sp.finish());
         self.cache.loops = Some(Arc::clone(&l));
         l
     }
@@ -314,9 +360,9 @@ impl PassContext {
             return Arc::clone(s);
         }
         let dom = self.dominators(f);
-        let t = Instant::now();
+        let sp = timed_span("ssa", "analysis");
         let s = Arc::new(Ssa::compute(f, &dom));
-        self.timings.record_compute("ssa", t.elapsed());
+        self.timings.record_compute("ssa", sp.finish());
         self.cache.ssa = Some(Arc::clone(&s));
         s
     }
@@ -328,9 +374,9 @@ impl PassContext {
             self.timings.record_hit("unique-defs");
             return Arc::clone(u);
         }
-        let t = Instant::now();
+        let sp = timed_span("unique-defs", "analysis");
         let u = Arc::new(unique_defs(f));
-        self.timings.record_compute("unique-defs", t.elapsed());
+        self.timings.record_compute("unique-defs", sp.finish());
         self.cache.udefs = Some(Arc::clone(&u));
         u
     }
@@ -344,9 +390,9 @@ impl PassContext {
         }
         let ssa = self.ssa(f);
         let forest = self.loop_forest(f);
-        let t = Instant::now();
+        let sp = timed_span("induction", "analysis");
         let i = Arc::new(classify_function(f, &ssa, &forest));
-        self.timings.record_compute("induction", t.elapsed());
+        self.timings.record_compute("induction", sp.finish());
         self.cache.induction = Some(Arc::clone(&i));
         i
     }
@@ -360,9 +406,9 @@ impl PassContext {
             return Arc::clone(v);
         }
         let forest = self.loop_forest(f);
-        let t = Instant::now();
+        let sp = timed_span("vra", "analysis");
         let v = Arc::new(crate::vra::analyze_with_forest(f, &forest));
-        self.timings.record_compute("vra", t.elapsed());
+        self.timings.record_compute("vra", sp.finish());
         self.cache.vra = Some(Arc::clone(&v));
         v
     }
@@ -386,9 +432,9 @@ impl PassContext {
         if forest.loops.iter().all(|l| l.preheader.is_some()) {
             return false;
         }
-        let t = Instant::now();
+        let sp = timed_span("insert-preheaders", "pass");
         let changed = insert_preheaders_with(f, &forest);
-        self.timings.record_pass("insert-preheaders", t.elapsed());
+        self.timings.record_pass("insert-preheaders", sp.finish());
         if changed {
             self.invalidate(Invalidation::Cfg);
         }
@@ -397,9 +443,9 @@ impl PassContext {
 
     /// Runs `body` as a named pass, recording its wall time.
     pub fn time_pass<R>(&mut self, name: &'static str, body: impl FnOnce(&mut Self) -> R) -> R {
-        let t = Instant::now();
+        let sp = timed_span(name, "pass");
         let r = body(self);
-        self.timings.record_pass(name, t.elapsed());
+        self.timings.record_pass(name, sp.finish());
         r
     }
 }

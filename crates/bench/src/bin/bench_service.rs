@@ -181,6 +181,8 @@ fn main() -> ExitCode {
     // ---- rounds A and B: concurrent mixed requests + byte parity ----
     let divergences = AtomicUsize::new(0);
     let non_200 = AtomicUsize::new(0);
+    let missing_ids = AtomicUsize::new(0);
+    let request_ids: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let drive = |round: &'static str, only_certify: bool| {
         let pool: Vec<&Job> = jobs
             .iter()
@@ -202,6 +204,16 @@ fn main() -> ExitCode {
                             if got != job.reference {
                                 eprintln!("DIVERGENCE at {}", job.label);
                                 divergences.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // every pipeline response carries a request id
+                            match response.get("request_id").and_then(Json::as_str) {
+                                Some(id) if !id.is_empty() => {
+                                    request_ids.lock().expect("ids").push(id.to_string());
+                                }
+                                _ => {
+                                    eprintln!("MISSING request_id at {}", job.label);
+                                    missing_ids.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                         }
                         Ok((status, body)) => {
@@ -231,6 +243,39 @@ fn main() -> ExitCode {
     };
     let (count_a, secs_a) = drive("A (all misses)", false);
     let (count_b, secs_b) = drive("B (all hits)", true);
+
+    // ---- request ids: present in every response, unique across clients ----
+    let missing_ids = missing_ids.load(Ordering::Relaxed);
+    let ids = request_ids.into_inner().expect("ids");
+    let unique: std::collections::HashSet<&String> = ids.iter().collect();
+    let duplicate_ids = ids.len() - unique.len();
+    eprintln!(
+        "bench_service: {} request ids, {} unique, {missing_ids} missing",
+        ids.len(),
+        unique.len()
+    );
+
+    // ---- Prometheus exposition: scrape, validate, spot-check families ----
+    let (status, prom_body) =
+        request(&addr, "GET", "/metrics?format=prom", b"").expect("prom metrics reachable");
+    assert_eq!(status, 200, "prom metrics endpoint failed");
+    let prom_text = String::from_utf8(prom_body).expect("prom metrics are utf-8");
+    nascent_obs::metrics::validate_prom(&prom_text).expect("prom exposition validates");
+    for needle in [
+        "nascentd_stage_duration_seconds_bucket{stage=\"optimize\"",
+        "nascentd_stage_duration_seconds_bucket{stage=\"certify\"",
+        "nascentd_request_duration_seconds_bucket{endpoint=\"optimize\"",
+        "nascentd_checks_eliminated_total{scheme=",
+    ] {
+        assert!(
+            prom_text.contains(needle),
+            "prom exposition is missing `{needle}`"
+        );
+    }
+    eprintln!(
+        "bench_service: prom exposition validates ({} lines)",
+        prom_text.lines().count()
+    );
 
     // ---- service-side accounting ----
     let (status, body) = request(&addr, "GET", "/metrics", b"").expect("metrics reachable");
@@ -328,8 +373,11 @@ fn main() -> ExitCode {
     if let Some(server) = in_process {
         server.stop();
     }
-    if non_200 > 0 || divergences > 0 || rejected != 0 {
-        eprintln!("bench_service: FAILED (non_200={non_200} divergences={divergences} rejected={rejected})");
+    if non_200 > 0 || divergences > 0 || rejected != 0 || missing_ids > 0 || duplicate_ids > 0 {
+        eprintln!(
+            "bench_service: FAILED (non_200={non_200} divergences={divergences} \
+             rejected={rejected} missing_ids={missing_ids} duplicate_ids={duplicate_ids})"
+        );
         return ExitCode::FAILURE;
     }
     eprintln!("bench_service: service path is byte-identical to the CLI path");

@@ -1,5 +1,5 @@
-//! Emits a machine-readable performance snapshot (`BENCH_5.json`) that
-//! seeds the repo's perf trajectory:
+//! Emits a machine-readable performance snapshot (`BENCH_9.json`) that
+//! extends the repo's perf trajectory (`BENCH_5.json` seeded it):
 //!
 //! * per-program ns/step on both execution engines (tree-walker vs
 //!   register-bytecode VM) over the naive, fully checked suite,
@@ -11,8 +11,13 @@
 //! Check and guard counts are engine-invariant (asserted by the
 //! differential test); only the timing fields vary between machines.
 //!
+//! * the obs overhead check: the same optimize sweep with the trace
+//!   recorder off vs on (spans recorded and drained), plus the spans
+//!   captured per sweep — the evidence behind the "recorder off is
+//!   near-free" guarantee (`tests/overhead.rs` enforces the bound).
+//!
 //! Usage: `cargo run --release -p nascent-bench --bin bench_snapshot
-//! [out.json]` (default `BENCH_5.json`).
+//! [out.json]` (default `BENCH_9.json`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -36,7 +41,7 @@ fn best_ns<F: FnMut()>(mut f: F) -> u128 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     let limits = harness_limits();
     let prepared: Vec<_> = suite(Scale::Small).iter().map(prepare).collect();
 
@@ -91,13 +96,42 @@ fn main() {
         total
     };
 
+    // obs overhead: the identical optimize sweep with the trace recorder
+    // off vs on; the on-sweep's spans are drained and counted
+    let tracing_off_ns = best_ns(|| {
+        for pb in &prepared {
+            for cfg in &configs {
+                let mut prog = pb.checked.clone();
+                let _ = nascent_rangecheck::optimize_program_timed(&mut prog, &cfg.opts);
+            }
+        }
+    });
+    nascent_obs::trace::set_global_enabled(true);
+    let tracing_on_ns = best_ns(|| {
+        let _ = nascent_obs::trace::drain_global();
+        for pb in &prepared {
+            for cfg in &configs {
+                let mut prog = pb.checked.clone();
+                let _ = nascent_rangecheck::optimize_program_timed(&mut prog, &cfg.opts);
+            }
+        }
+    });
+    nascent_obs::trace::set_global_enabled(false);
+    let spans_per_sweep = nascent_obs::trace::drain_global().len();
+    let overhead_pct =
+        100.0 * (tracing_on_ns as f64 - tracing_off_ns as f64) / tracing_off_ns.max(1) as f64;
+
     let json = format!(
-        "{{\n  \"format\": \"bench-snapshot\",\n  \"pr\": 5,\n  \"suite_scale\": \"small\",\n  \
+        "{{\n  \"format\": \"bench-snapshot\",\n  \"pr\": 9,\n  \"suite_scale\": \"small\",\n  \
          \"programs\": [\n{programs}\n  ],\n  \
          \"matrix\": {{\"cells\": {}, \"threads\": {}, \"wall_ms\": {:.3}, \
          \"serial_ms\": {:.3}, \"speedup\": {:.2}}},\n  \
          \"solver\": {{\"dataflow_iterations\": {solver_iterations}, \
-         \"analysis_ns\": {}, \"pass_ns\": {}}}\n}}\n",
+         \"analysis_ns\": {}, \"pass_ns\": {}}},\n  \
+         \"obs\": {{\"tracing_off_ns\": {tracing_off_ns}, \
+         \"tracing_on_ns\": {tracing_on_ns}, \
+         \"overhead_pct\": {overhead_pct:.2}, \
+         \"spans_per_sweep\": {spans_per_sweep}}}\n}}\n",
         report.cells.len(),
         report.threads,
         report.wall_time.as_secs_f64() * 1e3,

@@ -1,0 +1,177 @@
+//! Observability smoke check for a running `nascentd` (CI `obs-smoke`).
+//!
+//! Drives a live service through the obs surface end to end:
+//!
+//! 1. `POST /certify?trace=1` (discharge on) — asserts the response
+//!    carries a `request_id` and an embedded Chrome trace, writes the
+//!    trace to a file, and checks it contains at least one span per
+//!    pipeline stage (`parse`, `naive-run`, `optimize`, `certify`,
+//!    `execute`) plus optimizer pass spans (the `discharge` pass among
+//!    them, since the request ran with `--discharge on`),
+//! 2. a handful of plain `/optimize` + `/certify` requests across
+//!    schemes, so the per-scheme counters and per-stage histograms have
+//!    traffic,
+//! 3. `GET /metrics?format=prom` — validates every line of the
+//!    exposition format (including histogram bucket monotonicity, via
+//!    [`nascent_obs::metrics::validate_prom`]) and spot-checks that the
+//!    stage histograms and elimination counters are present.
+//!
+//! Usage: `obs_smoke [--addr HOST:PORT] [trace-out.json]` (default:
+//! in-process server, `obs_trace.json`).
+
+use std::process::ExitCode;
+
+use nascent_driver::http::request;
+use nascent_driver::json::{obj, parse, Json};
+use nascent_driver::service::{start, ServiceConfig};
+use nascent_suite::{suite, Scale};
+
+fn body(program: &str, scheme: &str, discharge: bool) -> String {
+    let mut fields = vec![
+        ("program", Json::Str(program.into())),
+        ("scheme", Json::Str(scheme.into())),
+    ];
+    if discharge {
+        fields.push(("discharge", Json::Str("on".into())));
+    }
+    obj(fields).render()
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("obs_smoke: FAILED: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr_arg: Option<String> = None;
+    let mut trace_path = "obs_trace.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr_arg = Some(args.get(i).expect("--addr needs a value").clone());
+            }
+            other => trace_path = other.to_string(),
+        }
+        i += 1;
+    }
+    let in_process = addr_arg
+        .is_none()
+        .then(|| start(ServiceConfig::default()).expect("server starts"));
+    let addr = addr_arg.unwrap_or_else(|| in_process.as_ref().unwrap().addr.to_string());
+
+    let benches = suite(Scale::Small);
+    let program = &benches[0].source;
+
+    // ---- 1. traced certify request ----
+    let (status, resp) = request(
+        &addr,
+        "POST",
+        "/certify?trace=1",
+        body(program, "LLS", true).as_bytes(),
+    )
+    .expect("traced certify reachable");
+    if status != 200 {
+        return fail(&format!(
+            "traced /certify -> {status}: {}",
+            String::from_utf8_lossy(&resp)
+        ));
+    }
+    let resp = parse(std::str::from_utf8(&resp).expect("utf-8")).expect("json response");
+    let Some(request_id) = resp.get("request_id").and_then(Json::as_str) else {
+        return fail("traced response has no request_id");
+    };
+    let Some(trace) = resp.get("trace") else {
+        return fail("traced response has no trace field");
+    };
+    let trace_json = trace.render();
+    std::fs::write(&trace_path, &trace_json).expect("write trace file");
+    // the written file must load as valid JSON on its own
+    let reloaded = parse(&std::fs::read_to_string(&trace_path).expect("read trace file"))
+        .expect("trace file is valid JSON");
+    let Some(Json::Arr(events)) = reloaded.get("traceEvents") else {
+        return fail("trace has no traceEvents array");
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for stage in ["parse", "naive-run", "optimize", "certify", "execute"] {
+        if !names.contains(&stage) {
+            return fail(&format!("trace has no `{stage}` stage span ({names:?})"));
+        }
+    }
+    if !names.contains(&"discharge") {
+        return fail("trace has no `discharge` pass span despite --discharge on");
+    }
+    let tagged = events
+        .iter()
+        .filter(|e| {
+            e.get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(Json::as_str)
+                == Some(request_id)
+        })
+        .count();
+    if tagged == 0 {
+        return fail("no trace span carries the response's request_id");
+    }
+    eprintln!(
+        "obs_smoke: trace ok — {} spans ({} tagged {request_id}) -> {trace_path}",
+        events.len(),
+        tagged
+    );
+
+    // ---- 2. traffic for the counters/histograms ----
+    for scheme in ["NI", "CS", "SE", "LLS", "ALL"] {
+        for (path, discharge) in [("/optimize", false), ("/certify", true)] {
+            let (status, resp) = request(
+                &addr,
+                "POST",
+                path,
+                body(program, scheme, discharge).as_bytes(),
+            )
+            .expect("pipeline request reachable");
+            if status != 200 {
+                return fail(&format!(
+                    "{path} ({scheme}) -> {status}: {}",
+                    String::from_utf8_lossy(&resp)
+                ));
+            }
+        }
+    }
+
+    // ---- 3. Prometheus exposition ----
+    let (status, prom) = request(&addr, "GET", "/metrics?format=prom", b"").expect("prom scrape");
+    if status != 200 {
+        return fail(&format!("/metrics?format=prom -> {status}"));
+    }
+    let prom = String::from_utf8(prom).expect("prom text is utf-8");
+    if let Err(e) = nascent_obs::metrics::validate_prom(&prom) {
+        return fail(&format!("prom exposition invalid: {e}"));
+    }
+    for needle in [
+        "# TYPE nascentd_requests_total counter",
+        "# TYPE nascentd_stage_duration_seconds histogram",
+        "nascentd_stage_duration_seconds_bucket{stage=\"parse\"",
+        "nascentd_stage_duration_seconds_bucket{stage=\"execute\"",
+        "nascentd_request_duration_seconds_bucket{endpoint=\"certify\"",
+        "nascentd_checks_eliminated_total{scheme=\"LLS\"}",
+    ] {
+        if !prom.contains(needle) {
+            return fail(&format!("prom exposition is missing `{needle}`"));
+        }
+    }
+    eprintln!(
+        "obs_smoke: prom exposition ok ({} lines)",
+        prom.lines().count()
+    );
+
+    if let Some(server) = in_process {
+        server.stop();
+    }
+    eprintln!("obs_smoke: ok");
+    ExitCode::SUCCESS
+}

@@ -47,6 +47,25 @@ pub fn discharge_checks_ctx(f: &mut Function, log: &mut JustLog, ctx: &mut PassC
                     } else {
                         DischargeReason::Range
                     };
+                    if nascent_obs::trace::enabled() {
+                        nascent_obs::trace::instant(
+                            "discharged",
+                            "event",
+                            vec![
+                                ("block", b.index().into()),
+                                ("check", c.cond.to_string().into()),
+                                (
+                                    "reason",
+                                    match reason {
+                                        DischargeReason::Unreachable => "unreachable",
+                                        DischargeReason::Constant => "constant",
+                                        DischargeReason::Range => "range",
+                                    }
+                                    .into(),
+                                ),
+                            ],
+                        );
+                    }
                     log.push(Event::Discharged {
                         block: b,
                         check: c.cond.clone(),

@@ -320,6 +320,9 @@ pub fn optimize_function_with(
     log: &mut JustLog,
     ctx: &mut PassContext,
 ) -> OptimizeStats {
+    let mut sp = nascent_obs::trace::span("optimize-function", "optimize");
+    sp.attr("fn", f.name.as_str());
+    sp.attr("scheme", opts.scheme.name());
     let mut stats = OptimizeStats {
         static_before: f.check_count(),
         ..OptimizeStats::default()

@@ -17,10 +17,24 @@ pub const MAX_BODY: usize = 8 * 1024 * 1024;
 pub struct HttpRequest {
     /// `GET`, `POST`, …
     pub method: String,
-    /// Request target (path only; query strings are not used).
+    /// Request target path, query string stripped.
     pub path: String,
+    /// Raw query string (the part after `?`, empty when absent).
+    pub query: String,
     /// Body bytes (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The value of query parameter `key` (`a=1&b=2` syntax; no percent
+    /// decoding — the service's parameters are plain tokens). A bare key
+    /// with no `=` yields `Some("")`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// Reads one request from the stream. `Err` carries a human-readable
@@ -33,7 +47,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
         .map_err(|e| format!("read request line: {e}"))?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_string();
-    let path = parts.next().ok_or("missing request target")?.to_string();
+    let target = parts.next().ok_or("missing request target")?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
@@ -63,7 +81,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
     reader
         .read_exact(&mut body)
         .map_err(|e| format!("read body: {e}"))?;
-    Ok(HttpRequest { method, path, body })
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 /// Writes one response and flushes. Errors are ignored beyond reporting:

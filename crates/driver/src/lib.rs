@@ -119,6 +119,47 @@ pub struct Outcome {
     /// Per-analysis/per-pass wall-time counters (non-deterministic; kept
     /// out of [`Outcome::deterministic_json`]).
     pub timings: Timings,
+    /// Per-stage wall time of the computation (non-deterministic; kept
+    /// out of [`Outcome::deterministic_json`]).
+    pub stages: StageNanos,
+}
+
+/// Wall time of each pipeline stage of one [`compute`] call, in
+/// nanoseconds. Zero means the stage did not run (e.g. `certify_ns` in
+/// [`Mode::Optimize`]). Non-deterministic by nature, so excluded from
+/// [`Outcome::deterministic_json`]; the service feeds these into its
+/// per-stage Prometheus histograms and `nascentc --trace` records the
+/// same intervals as `stage`-category spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// MiniF source → IR.
+    pub parse_ns: u64,
+    /// Naive (unoptimized) measurement run.
+    pub naive_run_ns: u64,
+    /// Classic pre-pass + range-check optimizer.
+    pub optimize_ns: u64,
+    /// Translation validation of the optimization run.
+    pub certify_ns: u64,
+    /// Optimized measurement run plus differential validation.
+    pub execute_ns: u64,
+}
+
+impl StageNanos {
+    /// `(stage name, nanoseconds)` for every stage, in pipeline order.
+    pub fn each(&self) -> [(&'static str, u64); 5] {
+        [
+            ("parse", self.parse_ns),
+            ("naive-run", self.naive_run_ns),
+            ("optimize", self.optimize_ns),
+            ("certify", self.certify_ns),
+            ("execute", self.execute_ns),
+        ]
+    }
+
+    /// Sum over all stages, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.each().iter().map(|(_, ns)| ns).sum()
+    }
 }
 
 impl Outcome {
@@ -283,6 +324,18 @@ pub fn optimize_and_certify(
     config: &RunConfig,
     prog: &mut Program,
 ) -> (OptimizeStats, Certificate, Timings) {
+    let (stats, cert, timings, _, _) = optimize_and_certify_staged(config, prog);
+    (stats, cert, timings)
+}
+
+/// [`optimize_and_certify`] with per-stage wall time: additionally
+/// returns `(optimize nanoseconds, certify nanoseconds)`, measured as
+/// obs `stage` spans so a trace recorder sees the same intervals.
+pub fn optimize_and_certify_staged(
+    config: &RunConfig,
+    prog: &mut Program,
+) -> (OptimizeStats, Certificate, Timings, u64, u64) {
+    let sp = nascent_obs::trace::timed_span("optimize", "stage");
     if config.classic {
         for f in &mut prog.functions {
             nascent_classic::optimize_classic(f);
@@ -291,8 +344,11 @@ pub fn optimize_and_certify(
     let reference = prog.clone();
     let opts = config.opts();
     let (stats, logs, timings) = optimize_with_log(prog, config, &opts);
+    let optimize_ns = sp.finish().as_nanos() as u64;
+    let sp = nascent_obs::trace::timed_span("certify", "stage");
     let cert = certify_program(&reference, prog, &logs, &opts);
-    (stats, cert, timings)
+    let certify_ns = sp.finish().as_nanos() as u64;
+    (stats, cert, timings, optimize_ns, certify_ns)
 }
 
 /// Compiles a source, optimizes it under `opts`, and certifies the run —
@@ -379,17 +435,31 @@ fn validate_runs(naive: &RunResult, opt: &RunResult) -> Result<(), PipelineError
 /// This is the uncached single-request path; [`Pipeline::run`] adds the
 /// fleet-wide cache and request coalescing on top.
 pub fn compute(req: &Request, limits: &Limits) -> Result<Outcome, PipelineError> {
+    let mut root = nascent_obs::trace::span("pipeline", "stage");
+    root.attr("config", req.config.fingerprint());
+    root.attr("mode", req.mode.name());
+    let mut stages = StageNanos::default();
+
+    let sp = nascent_obs::trace::timed_span("parse", "stage");
     let naive_prog = compile(&req.program).map_err(|e| PipelineError::Compile(e.to_string()))?;
+    stages.parse_ns = sp.finish().as_nanos() as u64;
+
+    let sp = nascent_obs::trace::timed_span("naive-run", "stage");
     let naive = run_with_engine(&naive_prog, limits, req.config.engine)
         .map_err(|e| PipelineError::Run(format!("naive run: {e}")))?;
+    stages.naive_run_ns = sp.finish().as_nanos() as u64;
 
     let mut prog = naive_prog;
     let (stats, certificate, timings) = match req.mode {
         Mode::Certify => {
-            let (stats, cert, timings) = optimize_and_certify(&req.config, &mut prog);
+            let (stats, cert, timings, optimize_ns, certify_ns) =
+                optimize_and_certify_staged(&req.config, &mut prog);
+            stages.optimize_ns = optimize_ns;
+            stages.certify_ns = certify_ns;
             (stats, Some(cert), timings)
         }
         Mode::Optimize => {
+            let sp = nascent_obs::trace::timed_span("optimize", "stage");
             if req.config.classic {
                 for f in &mut prog.functions {
                     nascent_classic::optimize_classic(f);
@@ -397,10 +467,12 @@ pub fn compute(req: &Request, limits: &Limits) -> Result<Outcome, PipelineError>
             }
             let opts = req.config.opts();
             let (stats, _, timings) = optimize_with_log(&mut prog, &req.config, &opts);
+            stages.optimize_ns = sp.finish().as_nanos() as u64;
             (stats, None, timings)
         }
     };
 
+    let sp = nascent_obs::trace::timed_span("execute", "stage");
     let opt = run_with_engine(&prog, limits, req.config.engine)
         .map_err(|e| PipelineError::Run(format!("optimized run: {e}")))?;
     // The classic pre-pass legitimately changes non-check work, so the
@@ -409,6 +481,7 @@ pub fn compute(req: &Request, limits: &Limits) -> Result<Outcome, PipelineError>
     if !req.config.classic {
         validate_runs(&naive, &opt)?;
     }
+    stages.execute_ns = sp.finish().as_nanos() as u64;
 
     let percent = 100.0 * (1.0 - opt.dynamic_checks as f64 / naive.dynamic_checks.max(1) as f64);
     Ok(Outcome {
@@ -428,6 +501,7 @@ pub fn compute(req: &Request, limits: &Limits) -> Result<Outcome, PipelineError>
             trap: opt.trap.as_ref().map(render_trap),
         },
         timings,
+        stages,
     })
 }
 

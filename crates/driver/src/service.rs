@@ -23,18 +23,34 @@
 //!   [`Pipeline`] and its fleet-wide result cache, so identical
 //!   requests — across all clients — compute once.
 //!
+//! Telemetry (`nascent-obs`): every request is minted a **request id**
+//! (echoed as `request_id` in success and error bodies, and carried on
+//! the worker thread so any span recorded while handling the request is
+//! tagged with it); all counters live in an obs
+//! [`metrics::Registry`](nascent_obs::metrics::Registry), rendered as
+//! the stable JSON `/metrics` document *and* as Prometheus text format
+//! under `GET /metrics?format=prom` (per-endpoint latency histograms,
+//! per-stage pipeline timings, cache traffic, per-scheme elimination
+//! totals); latency percentiles come from a fixed-capacity
+//! [`Reservoir`](nascent_obs::metrics::Reservoir), so memory stays
+//! bounded across any number of requests; and `?trace=1` on a pipeline
+//! endpoint captures that request's spans with a scoped collector and
+//! embeds the Chrome-trace JSON in the response.
+//!
 //! Endpoints: `POST /optimize`, `POST /certify`, `GET /healthz`,
 //! `GET /metrics`.
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nascent_interp::Limits;
+use nascent_obs::metrics::{percentile, Counter, Gauge, Histogram, Registry, Reservoir};
+use nascent_obs::trace::{chrome_trace_json, set_request_id, ScopedCollector};
 
 use crate::cache::panic_message;
 use crate::config::{
@@ -43,6 +59,15 @@ use crate::config::{
 use crate::http::{read_request, write_response, HttpRequest};
 use crate::json::{obj, parse, Json};
 use crate::{harness, Outcome, Pipeline, Request, RunConfig};
+
+/// Samples held by the latency reservoir: enough for stable p99s, fixed
+/// however many requests the process serves.
+pub const LATENCY_RESERVOIR: usize = 4096;
+
+/// Content type for Prometheus text exposition format.
+const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+const JSON_CONTENT_TYPE: &str = "application/json";
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -108,111 +133,214 @@ impl Semaphore {
     }
 }
 
-/// Service-wide counters, all monotone; snapshot rendered by `/metrics`.
-#[derive(Default)]
+/// Service-wide telemetry: an obs [`Registry`] plus cheap handles into
+/// it, a bounded latency [`Reservoir`], and the pool's queued count.
+/// `/metrics` renders the registry twice — the stable JSON document and
+/// Prometheus text format — from the same underlying counters.
 pub struct Metrics {
-    optimize_requests: AtomicU64,
-    certify_requests: AtomicU64,
-    healthz_requests: AtomicU64,
-    metrics_requests: AtomicU64,
-    responses_200: AtomicU64,
-    responses_400: AtomicU64,
-    responses_404: AtomicU64,
-    responses_405: AtomicU64,
-    responses_500: AtomicU64,
-    responses_503: AtomicU64,
-    panics_isolated: AtomicU64,
+    registry: Registry,
+    optimize_requests: Counter,
+    certify_requests: Counter,
+    healthz_requests: Counter,
+    metrics_requests: Counter,
+    /// Response counters for 200/400/404/405/500/503, in that order.
+    responses: [Counter; 6],
+    panics_isolated: Counter,
+    stolen: Counter,
+    /// Live queued count (inc/dec; mirrored into a gauge at render time).
     queued: AtomicUsize,
-    stolen: AtomicU64,
-    /// Completed pipeline-request latencies, in microseconds.
-    latencies_us: Mutex<Vec<u64>>,
+    queued_gauge: Gauge,
+    /// Cache gauges, synced from [`Pipeline::cache_stats`] at render time.
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+    cache_coalesced: Gauge,
+    cache_entries: Gauge,
+    cache_hit_rate: Gauge,
+    /// Completed pipeline-request latencies (µs), bounded window.
+    latencies: Reservoir,
+    optimize_latency: Histogram,
+    certify_latency: Histogram,
+    /// Per-stage wall-time histograms (parse, naive-run, optimize,
+    /// certify, execute), fed from [`Outcome::stages`] on fresh
+    /// computations (cache hits did not run the stages).
+    stage_latency: [Histogram; 5],
 }
 
+const RESPONSE_CODES: [&str; 6] = ["200", "400", "404", "405", "500", "503"];
+const STAGES: [&str; 5] = ["parse", "naive-run", "optimize", "certify", "execute"];
+
 impl Metrics {
-    fn count_response(&self, status: u16) {
-        let c = match status {
-            200 => &self.responses_200,
-            400 => &self.responses_400,
-            404 => &self.responses_404,
-            405 => &self.responses_405,
-            503 => &self.responses_503,
-            _ => &self.responses_500,
+    fn new(workers: usize, queue_limit: usize) -> Metrics {
+        let registry = Registry::new();
+        let req = |ep: &str| {
+            registry.counter(
+                "nascentd_requests_total",
+                "Requests received, by endpoint",
+                &[("endpoint", ep)],
+            )
         };
-        c.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn record_latency(&self, d: Duration) {
-        let mut l = self.latencies_us.lock().expect("latency lock");
-        // keep the reservoir bounded; half a million requests is far more
-        // than any one process lifetime needs for stable percentiles
-        if l.len() < 500_000 {
-            l.push(d.as_micros() as u64);
+        let resp = |code: &str| {
+            registry.counter(
+                "nascentd_responses_total",
+                "Responses sent, by status code",
+                &[("code", code)],
+            )
+        };
+        let cache_gauge = |stat: &str| {
+            registry.gauge(
+                "nascentd_cache",
+                "Fleet-wide result cache traffic",
+                &[("stat", stat)],
+            )
+        };
+        let lat = |ep: &str| {
+            registry.histogram(
+                "nascentd_request_duration_seconds",
+                "Pipeline request latency, by endpoint",
+                &[("endpoint", ep)],
+                nascent_obs::metrics::LATENCY_BUCKETS,
+            )
+        };
+        let stage = |s: &str| {
+            registry.histogram(
+                "nascentd_stage_duration_seconds",
+                "Pipeline stage wall time (fresh computations only)",
+                &[("stage", s)],
+                nascent_obs::metrics::LATENCY_BUCKETS,
+            )
+        };
+        registry
+            .gauge("nascentd_pool_workers", "Worker threads in the pool", &[])
+            .set(workers as f64);
+        registry
+            .gauge(
+                "nascentd_pool_queue_limit",
+                "Admitted-but-unfinished request limit",
+                &[],
+            )
+            .set(queue_limit as f64);
+        Metrics {
+            optimize_requests: req("optimize"),
+            certify_requests: req("certify"),
+            healthz_requests: req("healthz"),
+            metrics_requests: req("metrics"),
+            responses: RESPONSE_CODES.map(resp),
+            panics_isolated: registry.counter(
+                "nascentd_panics_isolated_total",
+                "Request panics caught without losing a worker",
+                &[],
+            ),
+            stolen: registry.counter(
+                "nascentd_pool_stolen_total",
+                "Jobs stolen from a sibling worker's deque",
+                &[],
+            ),
+            queued: AtomicUsize::new(0),
+            queued_gauge: registry.gauge(
+                "nascentd_pool_queued",
+                "Connections admitted but not yet finished",
+                &[],
+            ),
+            cache_hits: cache_gauge("hits"),
+            cache_misses: cache_gauge("misses"),
+            cache_coalesced: cache_gauge("coalesced"),
+            cache_entries: cache_gauge("entries"),
+            cache_hit_rate: cache_gauge("hit_rate"),
+            latencies: Reservoir::new(LATENCY_RESERVOIR),
+            optimize_latency: lat("optimize"),
+            certify_latency: lat("certify"),
+            stage_latency: STAGES.map(stage),
+            registry,
         }
     }
 
-    fn percentile(sorted: &[u64], p: f64) -> f64 {
-        if sorted.is_empty() {
-            return 0.0;
+    fn count_response(&self, status: u16) {
+        let idx = RESPONSE_CODES
+            .iter()
+            .position(|c| c.parse::<u16>().unwrap() == status)
+            .unwrap_or(4); // anything unexpected counts as a 500
+        self.responses[idx].inc();
+    }
+
+    fn record_latency(&self, mode: Mode, d: Duration) {
+        self.latencies.observe(d.as_micros() as u64);
+        match mode {
+            Mode::Optimize => self.optimize_latency.observe_duration(d),
+            Mode::Certify => self.certify_latency.observe_duration(d),
         }
-        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)] as f64 / 1e3
+    }
+
+    /// Records per-stage wall time and per-scheme elimination totals of
+    /// one freshly computed outcome (cache hits did not run the stages,
+    /// so recording them would double-count work that never happened).
+    fn record_outcome(&self, outcome: &Outcome) {
+        for (hist, (_, ns)) in self.stage_latency.iter().zip(outcome.stages.each()) {
+            hist.observe(ns as f64 / 1e9);
+        }
+        let scheme = outcome.config.scheme.name();
+        let static_gone = outcome.stats.eliminated_static + outcome.stats.discharged;
+        self.registry
+            .counter(
+                "nascentd_checks_eliminated_total",
+                "Static checks removed by the optimizer, by scheme",
+                &[("scheme", scheme)],
+            )
+            .add(static_gone as u64);
+        let dynamic_gone = outcome
+            .counters
+            .naive_checks
+            .saturating_sub(outcome.counters.dynamic_checks);
+        self.registry
+            .counter(
+                "nascentd_dynamic_checks_eliminated_total",
+                "Dynamic check executions avoided relative to the naive run, by scheme",
+                &[("scheme", scheme)],
+            )
+            .add(dynamic_gone);
+    }
+
+    /// Syncs the render-time gauges (cache traffic, queued count) from
+    /// their sources of truth.
+    fn sync_gauges(&self, pipeline: &Pipeline) {
+        let cache = pipeline.cache_stats();
+        self.cache_hits.set(cache.hits as f64);
+        self.cache_misses.set(cache.misses as f64);
+        self.cache_coalesced.set(cache.coalesced as f64);
+        self.cache_entries.set(cache.entries as f64);
+        self.cache_hit_rate
+            .set((cache.hit_rate() * 1e4).round() / 1e4);
+        self.queued_gauge
+            .set(self.queued.load(Ordering::Relaxed) as f64);
+    }
+
+    /// Prometheus text exposition of every registry family.
+    fn render_prom(&self, pipeline: &Pipeline) -> String {
+        self.sync_gauges(pipeline);
+        self.registry.render_prom()
     }
 
     fn render(&self, pipeline: &Pipeline, workers: usize, queue_limit: usize) -> Json {
         let cache = pipeline.cache_stats();
-        let mut lat = self.latencies_us.lock().expect("latency lock").clone();
-        lat.sort_unstable();
+        let (total, window, lat) = self.latencies.snapshot();
         let ms = |v: f64| Json::Num((v * 1e3).round() / 1e3);
+        let pct = |p: f64| ms(percentile(&lat, p) / 1e3);
         obj(vec![
             (
                 "requests",
                 obj(vec![
-                    (
-                        "optimize",
-                        Json::Int(self.optimize_requests.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "certify",
-                        Json::Int(self.certify_requests.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "healthz",
-                        Json::Int(self.healthz_requests.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "metrics",
-                        Json::Int(self.metrics_requests.load(Ordering::Relaxed) as i64),
-                    ),
+                    ("optimize", Json::Int(self.optimize_requests.get() as i64)),
+                    ("certify", Json::Int(self.certify_requests.get() as i64)),
+                    ("healthz", Json::Int(self.healthz_requests.get() as i64)),
+                    ("metrics", Json::Int(self.metrics_requests.get() as i64)),
                 ]),
             ),
             (
                 "responses",
-                obj(vec![
-                    (
-                        "200",
-                        Json::Int(self.responses_200.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "400",
-                        Json::Int(self.responses_400.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "404",
-                        Json::Int(self.responses_404.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "405",
-                        Json::Int(self.responses_405.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "500",
-                        Json::Int(self.responses_500.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "503",
-                        Json::Int(self.responses_503.load(Ordering::Relaxed) as i64),
-                    ),
-                ]),
+                obj(RESPONSE_CODES
+                    .iter()
+                    .zip(&self.responses)
+                    .map(|(code, c)| (*code, Json::Int(c.get() as i64)))
+                    .collect()),
             ),
             (
                 "cache",
@@ -230,11 +358,12 @@ impl Metrics {
             (
                 "latency_ms",
                 obj(vec![
-                    ("count", Json::Int(lat.len() as i64)),
-                    ("p50", ms(Self::percentile(&lat, 0.50) / 1e3)),
-                    ("p90", ms(Self::percentile(&lat, 0.90) / 1e3)),
-                    ("p99", ms(Self::percentile(&lat, 0.99) / 1e3)),
-                    ("max", ms(lat.last().copied().unwrap_or(0) as f64 / 1e6)),
+                    ("count", Json::Int(total as i64)),
+                    ("window", Json::Int(window as i64)),
+                    ("p50", pct(0.50)),
+                    ("p90", pct(0.90)),
+                    ("p99", pct(0.99)),
+                    ("max", ms(lat.last().copied().unwrap_or(0) as f64 / 1e3)),
                 ]),
             ),
             (
@@ -246,13 +375,10 @@ impl Metrics {
                         "queued",
                         Json::Int(self.queued.load(Ordering::Relaxed) as i64),
                     ),
-                    (
-                        "stolen",
-                        Json::Int(self.stolen.load(Ordering::Relaxed) as i64),
-                    ),
+                    ("stolen", Json::Int(self.stolen.get() as i64)),
                     (
                         "panics_isolated",
-                        Json::Int(self.panics_isolated.load(Ordering::Relaxed) as i64),
+                        Json::Int(self.panics_isolated.get() as i64),
                     ),
                 ]),
             ),
@@ -312,7 +438,7 @@ pub fn start(config: ServiceConfig) -> Result<ServerHandle, String> {
     let workers = config.workers.max(1);
     let shared = Arc::new(Shared {
         pipeline: Pipeline::with_limits(config.limits),
-        metrics: Metrics::default(),
+        metrics: Metrics::new(workers, config.queue_limit),
         deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         wakeup: Condvar::new(),
         wakeup_lock: Mutex::new(()),
@@ -368,9 +494,9 @@ fn acceptor_loop(listener: TcpListener, shared: &Shared) {
             // acceptor thread is safe.
             if let Ok(r) = &request {
                 if r.method == "GET" {
-                    let (status, body) = route(r, shared);
+                    let (status, body, content_type) = route(r, shared);
                     shared.metrics.count_response(status);
-                    write_response(&mut stream, status, "application/json", body.as_bytes());
+                    write_response(&mut stream, status, content_type, body.as_bytes());
                     continue;
                 }
             }
@@ -380,7 +506,7 @@ fn acceptor_loop(listener: TcpListener, shared: &Shared) {
                 ("error", Json::Str("queue full".into())),
             ])
             .render();
-            write_response(&mut stream, 503, "application/json", body.as_bytes());
+            write_response(&mut stream, 503, JSON_CONTENT_TYPE, body.as_bytes());
             continue;
         }
         shared.metrics.queued.fetch_add(1, Ordering::Relaxed);
@@ -415,7 +541,7 @@ fn worker_loop(id: usize, shared: &Shared) {
             Some((stream, stolen)) => {
                 shared.metrics.queued.fetch_sub(1, Ordering::Relaxed);
                 if stolen {
-                    shared.metrics.stolen.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.stolen.inc();
                 }
                 serve_connection(stream, shared);
                 shared.admission.release();
@@ -435,56 +561,68 @@ fn worker_loop(id: usize, shared: &Shared) {
 }
 
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    // every admitted request gets an id: echoed in the response body,
+    // carried on this thread so every span recorded while handling the
+    // request (pipeline stages, passes, analyses) is tagged with it
+    let request_id = nascent_obs::mint_request_id();
+    let prev = set_request_id(Some(request_id.clone()));
     let request = match read_request(&mut stream) {
         Ok(r) => r,
         Err(e) => {
             shared.metrics.count_response(400);
             let body = error_json(&format!("malformed request: {e}"));
-            write_response(&mut stream, 400, "application/json", body.as_bytes());
+            write_response(&mut stream, 400, JSON_CONTENT_TYPE, body.as_bytes());
+            set_request_id(prev);
             return;
         }
     };
     // panic isolation: a request must never take its worker down
     let outcome = catch_unwind(AssertUnwindSafe(|| route(&request, shared)));
-    let (status, body) = match outcome {
+    let (status, body, content_type) = match outcome {
         Ok(r) => r,
         Err(payload) => {
-            shared
-                .metrics
-                .panics_isolated
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.panics_isolated.inc();
             (
                 500,
                 error_json(&format!("panicked: {}", panic_message(payload.as_ref()))),
+                JSON_CONTENT_TYPE,
             )
         }
     };
     shared.metrics.count_response(status);
-    write_response(&mut stream, status, "application/json", body.as_bytes());
+    write_response(&mut stream, status, content_type, body.as_bytes());
+    set_request_id(prev);
 }
 
+/// An error body. Includes the thread's current request id when one is
+/// set, so failures can be joined to their traces too.
 fn error_json(message: &str) -> String {
-    obj(vec![
+    let mut fields = vec![
         ("status", Json::Str("error".into())),
         ("error", Json::Str(message.into())),
-    ])
-    .render()
+    ];
+    if let Some(id) = nascent_obs::trace::current_request_id() {
+        fields.push(("request_id", Json::Str(id)));
+    }
+    obj(fields).render()
 }
 
-fn route(request: &HttpRequest, shared: &Shared) -> (u16, String) {
+fn route(request: &HttpRequest, shared: &Shared) -> (u16, String, &'static str) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            shared
-                .metrics
-                .healthz_requests
-                .fetch_add(1, Ordering::Relaxed);
-            (200, obj(vec![("status", Json::Str("ok".into()))]).render())
+            shared.metrics.healthz_requests.inc();
+            (
+                200,
+                obj(vec![("status", Json::Str("ok".into()))]).render(),
+                JSON_CONTENT_TYPE,
+            )
         }
         ("GET", "/metrics") => {
-            shared
-                .metrics
-                .metrics_requests
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.metrics_requests.inc();
+            if request.query_param("format") == Some("prom") {
+                let body = shared.metrics.render_prom(&shared.pipeline);
+                return (200, body, PROM_CONTENT_TYPE);
+            }
             let body = shared
                 .metrics
                 .render(
@@ -493,28 +631,22 @@ fn route(request: &HttpRequest, shared: &Shared) -> (u16, String) {
                     shared.config.queue_limit,
                 )
                 .render();
-            (200, body)
+            (200, body, JSON_CONTENT_TYPE)
         }
         ("POST", "/optimize") => {
-            shared
-                .metrics
-                .optimize_requests
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.optimize_requests.inc();
             pipeline_endpoint(request, Mode::Optimize, shared)
         }
         ("POST", "/certify") => {
-            shared
-                .metrics
-                .certify_requests
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.certify_requests.inc();
             pipeline_endpoint(request, Mode::Certify, shared)
         }
         ("POST", "/panic") if shared.config.test_endpoints => {
             panic!("test endpoint requested a panic")
         }
-        (_, "/healthz" | "/metrics") => (405, error_json("method not allowed")),
-        (_, "/optimize" | "/certify") => (405, error_json("method not allowed")),
-        _ => (404, error_json("no such endpoint")),
+        (_, "/healthz" | "/metrics") => (405, error_json("method not allowed"), JSON_CONTENT_TYPE),
+        (_, "/optimize" | "/certify") => (405, error_json("method not allowed"), JSON_CONTENT_TYPE),
+        _ => (404, error_json("no such endpoint"), JSON_CONTENT_TYPE),
     }
 }
 
@@ -560,9 +692,16 @@ pub fn parse_pipeline_request(body: &[u8], mode: Mode) -> Result<Request, String
 
 /// Renders a successful pipeline response. The `result` object is
 /// [`Outcome::deterministic_json`], so a cached response is byte-equal
-/// to the original computation and to the CLI path.
-pub fn render_pipeline_response(outcome: &Outcome, cached: bool) -> String {
-    obj(vec![
+/// to the original computation and to the CLI path; `request_id` and the
+/// optional embedded `trace` ride alongside it, outside the
+/// deterministic surface.
+pub fn render_pipeline_response(
+    outcome: &Outcome,
+    cached: bool,
+    request_id: Option<&str>,
+    trace: Option<Json>,
+) -> String {
+    let mut fields = vec![
         ("status", Json::Str("ok".into())),
         ("cached", Json::Bool(cached)),
         ("result", outcome.deterministic_json()),
@@ -576,26 +715,58 @@ pub fn render_pipeline_response(outcome: &Outcome, cached: bool) -> String {
                 ("pass", Json::Int(outcome.timings.pass_nanos() as i64)),
             ]),
         ),
-    ])
-    .render()
+    ];
+    if let Some(id) = request_id {
+        fields.push(("request_id", Json::Str(id.into())));
+    }
+    if let Some(trace) = trace {
+        fields.push(("trace", trace));
+    }
+    obj(fields).render()
 }
 
-fn pipeline_endpoint(request: &HttpRequest, mode: Mode, shared: &Shared) -> (u16, String) {
+fn pipeline_endpoint(
+    request: &HttpRequest,
+    mode: Mode,
+    shared: &Shared,
+) -> (u16, String, &'static str) {
     let req = match parse_pipeline_request(&request.body, mode) {
         Ok(r) => r,
-        Err(e) => return (400, error_json(&e)),
+        Err(e) => return (400, error_json(&e), JSON_CONTENT_TYPE),
     };
+    // ?trace=1: collect this thread's spans for the duration of the run
+    // and embed the Chrome-trace JSON in the response. A cache hit or a
+    // computation coalesced onto another thread yields few or no spans —
+    // the trace shows the work *this* request performed.
+    let want_trace = request.query_param("trace") == Some("1");
+    let collector = want_trace.then(ScopedCollector::begin);
     let before = shared.pipeline.cache_stats();
     let t0 = Instant::now();
     let result = shared.pipeline.run(&req);
-    shared.metrics.record_latency(t0.elapsed());
+    shared.metrics.record_latency(mode, t0.elapsed());
+    let trace = collector.map(|c| {
+        let spans = c.finish();
+        // rendered and re-parsed so it embeds as a JSON value, keeping
+        // the response a single well-formed document
+        parse(&chrome_trace_json(&spans)).expect("chrome trace renders valid JSON")
+    });
     let after = shared.pipeline.cache_stats();
     let cached = after.misses == before.misses;
     match result {
-        Ok(outcome) => (200, render_pipeline_response(&outcome, cached)),
+        Ok(outcome) => {
+            if !cached {
+                shared.metrics.record_outcome(&outcome);
+            }
+            let id = nascent_obs::trace::current_request_id();
+            (
+                200,
+                render_pipeline_response(&outcome, cached, id.as_deref(), trace),
+                JSON_CONTENT_TYPE,
+            )
+        }
         Err(e) => {
             let status = if e.is_client_error() { 400 } else { 500 };
-            (status, error_json(&e.to_string()))
+            (status, error_json(&e.to_string()), JSON_CONTENT_TYPE)
         }
     }
 }

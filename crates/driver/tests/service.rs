@@ -312,3 +312,198 @@ fn cached_flag_and_cache_hit_rate_are_reported() {
     assert!(p50.is_some());
     server.stop();
 }
+
+#[test]
+fn every_response_carries_a_unique_request_id() {
+    let server = test_server();
+    let a = addr(&server);
+    const CLIENTS: usize = 16;
+    let ids: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let a = a.clone();
+                s.spawn(move || {
+                    let path = if i % 2 == 0 { "/optimize" } else { "/certify" };
+                    let (status, body) =
+                        request(&a, "POST", path, body_for(PROGRAM, "LLS").as_bytes()).unwrap();
+                    assert_eq!(status, 200);
+                    let response = parse(std::str::from_utf8(&body).unwrap()).unwrap();
+                    response
+                        .get("request_id")
+                        .and_then(Json::as_str)
+                        .expect("200 response carries request_id")
+                        .to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let distinct: std::collections::HashSet<&String> = ids.iter().collect();
+    assert_eq!(
+        distinct.len(),
+        CLIENTS,
+        "request ids must be unique: {ids:?}"
+    );
+
+    // error diagnostics carry one too
+    let (status, body) = request(&a, "POST", "/optimize", b"not json").unwrap();
+    assert_eq!(status, 400);
+    let err = parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(
+        err.get("request_id").and_then(Json::as_str).is_some(),
+        "400 response carries request_id"
+    );
+    server.stop();
+}
+
+#[test]
+fn prometheus_exposition_validates_and_reflects_traffic() {
+    let server = test_server();
+    let a = addr(&server);
+    for scheme in ["NI", "LLS"] {
+        let (status, _) = request(
+            &a,
+            "POST",
+            "/optimize",
+            body_for(PROGRAM, scheme).as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, _) = request(&a, "POST", "/certify", body_for(PROGRAM, "LLS").as_bytes()).unwrap();
+    assert_eq!(status, 200);
+
+    let (status, prom) = request(&a, "GET", "/metrics?format=prom", b"").unwrap();
+    assert_eq!(status, 200);
+    let prom = String::from_utf8(prom).unwrap();
+    nascent_obs::metrics::validate_prom(&prom).expect("exposition format validates");
+    for needle in [
+        "nascentd_requests_total{endpoint=\"optimize\"} 2",
+        "nascentd_requests_total{endpoint=\"certify\"} 1",
+        "nascentd_responses_total{code=\"200\"} 3",
+        "nascentd_stage_duration_seconds_bucket{stage=\"parse\",le=\"+Inf\"}",
+        "nascentd_stage_duration_seconds_bucket{stage=\"execute\",le=\"+Inf\"}",
+        "nascentd_checks_eliminated_total{scheme=\"LLS\"}",
+        "nascentd_pool_workers",
+    ] {
+        assert!(prom.contains(needle), "missing `{needle}` in:\n{prom}");
+    }
+    // the JSON rendering still answers on the same path, same shape
+    let (status, json) = request(&a, "GET", "/metrics", b"").unwrap();
+    assert_eq!(status, 200);
+    let metrics = parse(std::str::from_utf8(&json).unwrap()).unwrap();
+    assert!(metrics.get("requests").is_some());
+    assert!(metrics.get("latency_ms").is_some());
+    server.stop();
+}
+
+#[test]
+fn traced_request_embeds_a_nested_chrome_trace() {
+    let server = test_server();
+    let a = addr(&server);
+    let body = Json::Obj(
+        [
+            ("program".to_string(), Json::Str(PROGRAM.into())),
+            ("scheme".to_string(), Json::Str("LLS".into())),
+            ("discharge".to_string(), Json::Str("on".into())),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .render();
+    let (status, resp) = request(&a, "POST", "/certify?trace=1", body.as_bytes()).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let resp = parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    let request_id = resp.get("request_id").and_then(Json::as_str).unwrap();
+    let trace = resp.get("trace").expect("trace field present");
+    let Some(Json::Arr(events)) = trace.get("traceEvents") else {
+        panic!("trace has no traceEvents");
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for name in [
+        "pipeline",
+        "parse",
+        "naive-run",
+        "optimize",
+        "certify",
+        "execute",
+        "discharge",
+        "optimize-function",
+    ] {
+        assert!(names.contains(&name), "missing `{name}` in {names:?}");
+    }
+    // stage spans nest inside the root pipeline span
+    let span = |name: &str| {
+        let e = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap();
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        let dur = e.get("dur").and_then(Json::as_f64).unwrap_or(0.0);
+        (ts, ts + dur)
+    };
+    let (root_start, root_end) = span("pipeline");
+    for stage in ["parse", "naive-run", "optimize", "certify", "execute"] {
+        let (s, e) = span(stage);
+        assert!(
+            s >= root_start && e <= root_end,
+            "`{stage}` escapes the pipeline span"
+        );
+    }
+    // every event is stamped with the response's request id
+    for e in events {
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(Json::as_str),
+            Some(request_id)
+        );
+    }
+    // an untraced request has no trace field
+    let (_, plain) = request(&a, "POST", "/certify", body.as_bytes()).unwrap();
+    let plain = parse(std::str::from_utf8(&plain).unwrap()).unwrap();
+    assert!(plain.get("trace").is_none());
+    server.stop();
+}
+
+#[test]
+fn latency_window_stays_bounded_over_a_soak() {
+    use nascent_driver::service::LATENCY_RESERVOIR;
+    let server = test_server();
+    let a = addr(&server);
+    const SOAK: usize = 10_000;
+    let payload = body_for(PROGRAM, "NI");
+    // prime the cache, then soak with cache hits across a few threads
+    let (status, _) = request(&a, "POST", "/optimize", payload.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let a = a.clone();
+            let payload = payload.clone();
+            s.spawn(move || {
+                for _ in 0..((SOAK - 1) / 8) {
+                    let (status, _) = request(&a, "POST", "/optimize", payload.as_bytes()).unwrap();
+                    assert_eq!(status, 200);
+                }
+            });
+        }
+    });
+    let sent = 1 + 8 * ((SOAK - 1) / 8);
+    let (_, body) = request(&a, "GET", "/metrics", b"").unwrap();
+    let metrics = parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let lat = metrics.get("latency_ms").unwrap();
+    assert_eq!(
+        lat.get("count").and_then(Json::as_i64),
+        Some(sent as i64),
+        "lifetime sample count is exact"
+    );
+    let window = lat.get("window").and_then(Json::as_i64).unwrap();
+    assert!(
+        window <= LATENCY_RESERVOIR as i64,
+        "sample window {window} exceeds the reservoir bound {LATENCY_RESERVOIR}"
+    );
+    server.stop();
+}

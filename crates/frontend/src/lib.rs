@@ -67,6 +67,8 @@ pub fn compile(src: &str) -> Result<Program, CompileError> {
 /// Returns a [`CompileError`] describing the first lexical, syntactic or
 /// semantic problem found.
 pub fn compile_with(src: &str, checks: CheckInsertion) -> Result<Program, CompileError> {
+    let mut sp = nascent_obs::trace::span("compile", "frontend");
+    sp.attr("bytes", src.len());
     let tokens = lexer::lex(src)?;
     let ast = parser::parse(&tokens)?;
     lower::lower(&ast, checks)

@@ -76,6 +76,14 @@ pub fn run_with_engine(
     limits: &Limits,
     engine: Engine,
 ) -> Result<RunResult, RunError> {
+    let mut sp = nascent_obs::trace::span("interp", "engine");
+    sp.attr(
+        "engine",
+        match engine {
+            Engine::Tree => "tree",
+            Engine::Vm => "vm",
+        },
+    );
     match engine {
         Engine::Tree => run(prog, limits),
         Engine::Vm => run_compiled(&lower(prog), limits),

@@ -168,6 +168,8 @@ pub fn certify_program(
     logs: &[JustLog],
     opts: &OptimizeOptions,
 ) -> Certificate {
+    let mut sp = nascent_obs::trace::span("certify", "verify");
+    sp.attr("functions", naive.functions.len());
     let mut cert = Certificate::default();
     if naive.functions.len() != optimized.functions.len() || naive.functions.len() != logs.len() {
         cert.diagnostics.push(Diagnostic {

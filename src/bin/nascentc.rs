@@ -27,6 +27,16 @@
 //!                                           static certifier on the result
 //!   --timings                               (stats) per-analysis/per-pass
 //!                                           wall times (timings-format 1)
+//!   --timings-format text|json              (stats) timings output format:
+//!                                           the stable text report
+//!                                           (default) or one JSON object
+//!                                           with a record per analysis
+//!                                           and per pass
+//!   --trace FILE                            record every pipeline span
+//!                                           (stages, passes, analyses)
+//!                                           and write a Chrome
+//!                                           `chrome://tracing` JSON file
+//!                                           on exit (any command)
 //! ```
 //!
 //! All pipeline glue lives in [`nascent::driver`]: the run configuration
@@ -62,12 +72,14 @@ struct Options {
     config: RunConfig,
     certify: bool,
     timings: bool,
+    timings_json: bool,
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut config = RunConfig::default();
     let mut certify = false;
     let mut timings = false;
+    let mut timings_json = false;
     let mut i = 0;
     while i < rest.len() {
         if config.parse_flag(rest, &mut i)? {
@@ -77,6 +89,19 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         match rest[i].as_str() {
             "--certify" => certify = true,
             "--timings" => timings = true,
+            "--timings-format" => {
+                i += 1;
+                match rest.get(i).map(String::as_str) {
+                    Some("text") => timings_json = false,
+                    Some("json") => timings_json = true,
+                    Some(other) => {
+                        return Err(format!(
+                            "bad --timings-format `{other}` (expected `text` or `json`)"
+                        ))
+                    }
+                    None => return Err("--timings-format needs a value".into()),
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -85,6 +110,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         config,
         certify,
         timings,
+        timings_json,
     })
 }
 
@@ -106,7 +132,44 @@ fn load(path: &str) -> Result<nascent::ir::Program, String> {
     compile(&src).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Extracts a global `--trace FILE` option (valid anywhere on the
+/// command line), returning the remaining args and the trace path.
+fn extract_trace(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut out = Vec::new();
+    let mut trace = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            i += 1;
+            match args.get(i) {
+                Some(path) => trace = Some(path.clone()),
+                None => return Err("--trace needs a file path".into()),
+            }
+        } else {
+            out.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok((out, trace))
+}
+
 fn run_cli(args: &[String]) -> Result<(), String> {
+    let (args, trace_path) = extract_trace(args)?;
+    if trace_path.is_some() {
+        nascent::obs::trace::set_global_enabled(true);
+    }
+    let result = dispatch(&args);
+    if let Some(path) = trace_path {
+        nascent::obs::trace::set_global_enabled(false);
+        let spans = nascent::obs::trace::drain_global();
+        let json = nascent::obs::trace::chrome_trace_json(&spans);
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("trace: {} spans -> {path}", spans.len());
+    }
+    result
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
     let (cmd, file, rest) =
         match args {
             [cmd, file, rest @ ..] => (cmd.as_str(), file.as_str(), rest),
@@ -172,7 +235,11 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             println!("dataflow iters:    {}", stats.dataflow_iterations);
             if options.timings {
                 println!();
-                print!("{}", timings.report());
+                if options.timings_json {
+                    println!("{}", timings.report_json());
+                } else {
+                    print!("{}", timings.report());
+                }
             }
             if options.certify {
                 render_certificate(&cert)?;

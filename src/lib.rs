@@ -18,7 +18,9 @@
 //!   analysis plus translation validation of every optimization decision,
 //! * [`driver`] — the canonical pipeline layer: one `Request` → `Outcome`
 //!   function behind a fleet-wide result cache, the shared run
-//!   configuration, the experiment harness, and the `nascentd` service.
+//!   configuration, the experiment harness, and the `nascentd` service,
+//! * [`obs`] — structured observability: span tracing with Chrome-trace
+//!   export, the metrics registry behind `/metrics`, and request ids.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub use nascent_driver as driver;
 pub use nascent_frontend as frontend;
 pub use nascent_interp as interp;
 pub use nascent_ir as ir;
+pub use nascent_obs as obs;
 pub use nascent_rangecheck as rangecheck;
 pub use nascent_suite as suite;
 pub use nascent_verify as verify;
