@@ -4,13 +4,19 @@
 //! is compared byte-for-byte against a locally computed
 //! [`nascent_driver::compute`] outcome for the same request.
 //!
-//! Three phases:
+//! Four phases:
 //!
 //! 1. local reference outcomes for every (cell, mode) pair,
 //! 2. round A — N concurrent clients drain mixed `/optimize` +
 //!    `/certify` requests (every key a cache miss),
 //! 3. round B — the `/certify` half again (every key a cache hit; the
-//!    bytes must not change).
+//!    bytes must not change),
+//! 4. round C — mixed-engine requests (`"engine": "vm"` and
+//!    `"engine": "native"` for every program under one configuration),
+//!    proving the service's native tier is byte-identical to the VM
+//!    path and that its compile cache reports a non-zero hit rate in
+//!    `/metrics`. Skipped (with a named reason) when the host has no C
+//!    compiler.
 //!
 //! Exit is non-zero if any request fails (non-200), any response
 //! diverges from the CLI path, or the service rejected anything
@@ -30,13 +36,14 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use nascent_bench::{full_matrix_configs, harness_limits, prepare, run_matrix, Config};
+use nascent_cback::cc_available;
 use nascent_driver::config::Mode;
 use nascent_driver::http::request;
 use nascent_driver::json::{obj, parse, Json};
 use nascent_driver::service::{start, ServiceConfig};
 use nascent_driver::{compute, Request, RunConfig};
-use nascent_interp::{run, run_compiled};
-use nascent_rangecheck::{CheckKind, ImplicationMode};
+use nascent_interp::{run, run_compiled, Engine};
+use nascent_rangecheck::{CheckKind, ImplicationMode, Scheme};
 use nascent_suite::{suite, Scale};
 
 /// Best-of-N wall time of `f`, in nanoseconds.
@@ -59,8 +66,8 @@ struct Job {
     label: String,
 }
 
-fn body_json(source: &str, cfg: &Config) -> String {
-    obj(vec![
+fn body_json(source: &str, cfg: &Config, engine: Option<Engine>) -> String {
+    let mut fields = vec![
         ("program", Json::Str(source.into())),
         ("scheme", Json::Str(cfg.opts.scheme.name().into())),
         (
@@ -84,8 +91,11 @@ fn body_json(source: &str, cfg: &Config) -> String {
                 .into(),
             ),
         ),
-    ])
-    .render()
+    ];
+    if let Some(e) = engine {
+        fields.push(("engine", Json::Str(e.name().into())));
+    }
+    obj(fields).render()
 }
 
 fn main() -> ExitCode {
@@ -151,7 +161,7 @@ fn main() -> ExitCode {
                         Mode::Optimize => "/optimize",
                         Mode::Certify => "/certify",
                     },
-                    body: body_json(&bench.source, cfg),
+                    body: body_json(&bench.source, cfg, None),
                     reference: outcome.deterministic_json().render(),
                     label: format!("{} {} {:?}", bench.name, cfg.label, mode),
                 });
@@ -183,11 +193,7 @@ fn main() -> ExitCode {
     let non_200 = AtomicUsize::new(0);
     let missing_ids = AtomicUsize::new(0);
     let request_ids: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let drive = |round: &'static str, only_certify: bool| {
-        let pool: Vec<&Job> = jobs
-            .iter()
-            .filter(|j| !only_certify || j.path == "/certify")
-            .collect();
+    let drive = |round: &'static str, pool: &[&Job]| {
         let next = AtomicUsize::new(0);
         let t0 = Instant::now();
         std::thread::scope(|s| {
@@ -241,8 +247,75 @@ fn main() -> ExitCode {
         );
         (pool.len(), secs)
     };
-    let (count_a, secs_a) = drive("A (all misses)", false);
-    let (count_b, secs_b) = drive("B (all hits)", true);
+    let all: Vec<&Job> = jobs.iter().collect();
+    let certify: Vec<&Job> = jobs.iter().filter(|j| j.path == "/certify").collect();
+    let (count_a, secs_a) = drive("A (all misses)", &all);
+    let (count_b, secs_b) = drive("B (all hits)", &certify);
+
+    // ---- round C: mixed engines, exercising the service's native tier ----
+    // One configuration, every program, both modes, under `engine: vm`
+    // and `engine: native`. The two pipeline-cache keys per (program,
+    // engine=native) pair map to one optimized program, so the second
+    // request is a native compile-cache hit — the /metrics assertion
+    // below checks the cache actually reports it.
+    let native_jobs: Vec<Job> = if cc_available() {
+        let cfg = configs
+            .iter()
+            .find(|c| {
+                c.opts.scheme == Scheme::Lls
+                    && c.opts.kind == CheckKind::Prx
+                    && c.opts.implications == ImplicationMode::All
+            })
+            .expect("LLS/prx/all is in the full matrix");
+        benches
+            .iter()
+            .flat_map(|bench| {
+                [Engine::Vm, Engine::Native]
+                    .into_iter()
+                    .flat_map(move |engine| {
+                        [Mode::Optimize, Mode::Certify]
+                            .into_iter()
+                            .map(move |mode| {
+                                let mut config = RunConfig::from_opts(&cfg.opts);
+                                config.engine = engine;
+                                let req = Request {
+                                    program: bench.source.clone(),
+                                    config,
+                                    mode,
+                                };
+                                let outcome = compute(&req, &limits).expect("engine cell computes");
+                                Job {
+                                    path: match mode {
+                                        Mode::Optimize => "/optimize",
+                                        Mode::Certify => "/certify",
+                                    },
+                                    body: body_json(&bench.source, cfg, Some(engine)),
+                                    reference: outcome.deterministic_json().render(),
+                                    label: format!(
+                                        "{} {} {:?} engine={}",
+                                        bench.name,
+                                        cfg.label,
+                                        mode,
+                                        engine.name()
+                                    ),
+                                }
+                            })
+                    })
+            })
+            .collect()
+    } else {
+        eprintln!(
+            "bench_service: skipping mixed-engine round: no C compiler for the \
+             native tier ($CC / cc)"
+        );
+        Vec::new()
+    };
+    let (count_c, secs_c) = if native_jobs.is_empty() {
+        (0, 0.0)
+    } else {
+        let pool: Vec<&Job> = native_jobs.iter().collect();
+        drive("C (mixed engines)", &pool)
+    };
 
     // ---- request ids: present in every response, unique across clients ----
     let missing_ids = missing_ids.load(Ordering::Relaxed);
@@ -266,6 +339,8 @@ fn main() -> ExitCode {
         "nascentd_stage_duration_seconds_bucket{stage=\"certify\"",
         "nascentd_request_duration_seconds_bucket{endpoint=\"optimize\"",
         "nascentd_checks_eliminated_total{scheme=",
+        "nascentd_native_cache{stat=\"hit_rate\"}",
+        "nascentd_engine_duration_seconds_bucket{engine=\"native\"",
     ] {
         assert!(
             prom_text.contains(needle),
@@ -297,14 +372,31 @@ fn main() -> ExitCode {
     };
     let rejected = int_at("responses", "503");
     let hit_rate = num_at("cache", "hit_rate");
-    let total = (count_a + count_b) as f64;
-    let throughput = total / (secs_a + secs_b).max(1e-9);
+    let native_hit_rate = num_at("native_cache", "hit_rate");
+    assert!(
+        native_hit_rate >= 0.0,
+        "/metrics is missing the native_cache section"
+    );
+    if count_c > 0 {
+        assert!(
+            int_at("native_cache", "compiles") > 0,
+            "mixed-engine round ran but the native compile cache reports no compiles"
+        );
+        assert!(
+            native_hit_rate > 0.0,
+            "mixed-engine round ran but /metrics reports a zero native \
+             compile-cache hit rate"
+        );
+    }
+    let total = (count_a + count_b + count_c) as f64;
+    let throughput = total / (secs_a + secs_b + secs_c).max(1e-9);
 
     let divergences = divergences.load(Ordering::Relaxed);
     let non_200 = non_200.load(Ordering::Relaxed);
     eprintln!(
         "bench_service: non_200={non_200} divergences={divergences} rejected={rejected} \
-         cache_hit_rate={hit_rate:.4} p50={}ms p99={}ms",
+         cache_hit_rate={hit_rate:.4} native_cache_hit_rate={native_hit_rate:.4} \
+         p50={}ms p99={}ms",
         num_at("latency_ms", "p50"),
         num_at("latency_ms", "p99"),
     );
@@ -353,13 +445,15 @@ fn main() -> ExitCode {
          \"throughput_rps\": {throughput:.1}, \
          \"round_a_rps\": {:.1}, \"round_b_rps\": {:.1}, \
          \"cache_hit_rate\": {hit_rate:.4}, \
+         \"mixed_engine_requests\": {count_c}, \
+         \"native_cache_hit_rate\": {native_hit_rate:.4}, \
          \"latency_ms\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}}}\n}}\n",
         report.cells.len(),
         report.threads,
         report.wall_time.as_secs_f64() * 1e3,
         report.serial_time.as_secs_f64() * 1e3,
         report.speedup(),
-        count_a + count_b,
+        count_a + count_b + count_c,
         count_a as f64 / secs_a.max(1e-9),
         count_b as f64 / secs_b.max(1e-9),
         num_at("latency_ms", "p50"),

@@ -24,10 +24,11 @@ use nascent_ir::{Program, Stmt};
 
 // The harness proper: one copy, in the driver layer.
 pub use nascent_driver::harness::{
-    certify_benchmark, certify_prepared, evaluate, evaluate_prepared, evaluate_prepared_with,
-    full_matrix_configs, harness_limits, loop_count, matrix_threads, naive_run, prepare,
-    run_matrix, run_matrix_with, static_instruction_count, table2_configs, table3_configs, Config,
-    MatrixCell, MatrixReport, PreparedBenchmark, SchemeResult,
+    certify_benchmark, certify_prepared, compare_engines, evaluate, evaluate_prepared,
+    evaluate_prepared_with, full_matrix_configs, harness_limits, loop_count, matrix_threads,
+    naive_run, prepare, results_bit_identical, run_matrix, run_matrix_with,
+    static_instruction_count, table2_configs, table3_configs, Config, MatrixCell, MatrixReport,
+    PreparedBenchmark, SchemeResult,
 };
 
 /// Static and dynamic characteristics of one benchmark (Table 1 row).

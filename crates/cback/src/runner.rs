@@ -1,9 +1,32 @@
 //! Compiles and runs generated C, parsing the instrumentation protocol.
+//!
+//! The compiler is `$CC` when set (falling back to `cc`); runs are
+//! bounded by a wall-clock timeout (`NASCENT_CBACK_TIMEOUT_MS`, default
+//! 60 s) and the scratch directory is removed on every path, error or
+//! not.
 
-use std::path::PathBuf;
-use std::process::Command;
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
 
 use nascent_ir::Program;
+
+/// A trap parsed from a `T <ins> <prg> <fn> <check>` protocol line —
+/// field-for-field what `nascent_interp::Trap` carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTrap {
+    /// Function in which the check fired.
+    pub function: String,
+    /// The check, rendered in the paper's `Check (...)` notation (the
+    /// emitter bakes the interpreter's exact `Display` string into the
+    /// binary, so the two tiers agree byte-for-byte).
+    pub check: String,
+    /// Dynamic instruction count (non-check) at the moment of the trap.
+    pub at_instruction: u64,
+    /// Non-check statements executed at the moment of the trap.
+    pub at_progress: u64,
+}
 
 /// Result of an instrumented C run (mirrors
 /// `nascent_interp::RunResult`).
@@ -11,15 +34,52 @@ use nascent_ir::Program;
 pub struct CRunResult {
     /// Dynamic non-check instructions.
     pub dynamic_instructions: u64,
+    /// Non-check, non-trap statements executed (the jump-insensitive
+    /// progress metric).
+    pub dynamic_progress: u64,
     /// Dynamic checks performed.
     pub dynamic_checks: u64,
     /// Guard evaluations of conditional checks.
     pub dynamic_guard_ops: u64,
-    /// Name of the function whose check trapped, if any.
-    pub trap_function: Option<String>,
+    /// The trap that ended the run, if any.
+    pub trap: Option<CTrap>,
     /// Emitted values: integers as `("i", bits)` where bits is the value,
     /// reals as `("r", f64::to_bits)`.
     pub output: Vec<(char, u64)>,
+    /// In-process wall time of the measured run(s) in nanoseconds, from
+    /// the binary's own `R ns=...` line — excludes process spawn and
+    /// compile. Absent when the run trapped (the trap path exits before
+    /// the timing line).
+    pub exec_ns: Option<u64>,
+    /// How many times the program ran inside the process
+    /// (`NASCENT_CBACK_REPEAT`; counters accumulate across repeats,
+    /// output comes from the final repeat only, so anything but 1 is
+    /// only useful for timing).
+    pub repeat: u64,
+}
+
+/// A runtime error reported by the instrumented binary (`E` protocol
+/// lines) — variant-for-variant what `nascent_interp::RunError` carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CRuntimeError {
+    /// `E steps`: the step budget (`NASCENT_STEP_LIMIT`) was exhausted.
+    StepLimit,
+    /// `E depth`: call depth (`NASCENT_DEPTH_LIMIT`) exceeded.
+    CallDepth,
+    /// `E div <fn>`: integer division or remainder by zero.
+    DivisionByZero { function: String },
+    /// `E oob <fn> <array> <dim> <index> <lo> <hi>`: an access went
+    /// outside the declared bounds without a check trapping first.
+    OutOfBounds {
+        function: String,
+        array: String,
+        dim: usize,
+        index: i64,
+        lo: i64,
+        hi: i64,
+    },
+    /// `E bad <fn> <array>`: an array was declared with negative extent.
+    BadBounds { function: String, array: String },
 }
 
 /// Failure to build or run the generated C.
@@ -27,11 +87,15 @@ pub struct CRunResult {
 pub enum CRunError {
     /// I/O problem writing or invoking.
     Io(std::io::Error),
-    /// The C compiler rejected the generated code.
-    CompileFailed(String),
-    /// The binary exited abnormally (division by zero is exit 3,
-    /// undetected out-of-bounds exit 4).
+    /// The C compiler rejected the generated code; `compiler` names the
+    /// binary that ran (`$CC` or `cc`) and `stderr` is its full output.
+    CompileFailed { compiler: String, stderr: String },
+    /// The binary ran longer than the configured timeout and was killed.
+    Timeout { limit: Duration },
+    /// The binary exited abnormally without reporting a runtime error.
     RunFailed { code: Option<i32>, stdout: String },
+    /// The binary reported a runtime error (`E` line).
+    Runtime(CRuntimeError),
     /// The protocol output could not be parsed.
     BadProtocol(String),
 }
@@ -40,8 +104,14 @@ impl std::fmt::Display for CRunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CRunError::Io(e) => write!(f, "io: {e}"),
-            CRunError::CompileFailed(msg) => write!(f, "cc failed: {msg}"),
+            CRunError::CompileFailed { compiler, stderr } => {
+                write!(f, "`{compiler}` failed: {stderr}")
+            }
+            CRunError::Timeout { limit } => {
+                write!(f, "binary killed after {} ms timeout", limit.as_millis())
+            }
             CRunError::RunFailed { code, .. } => write!(f, "binary failed with {code:?}"),
+            CRunError::Runtime(e) => write!(f, "runtime error: {e:?}"),
             CRunError::BadProtocol(l) => write!(f, "bad protocol line: {l}"),
         }
     }
@@ -55,21 +125,43 @@ impl From<std::io::Error> for CRunError {
     }
 }
 
-/// Emits, compiles (with `-O1 -fwrapv`) and runs `prog`, returning the
-/// parsed counters.
-///
-/// # Errors
-///
-/// See [`CRunError`]. Division by zero and undetected out-of-bounds
-/// accesses surface as [`CRunError::RunFailed`] with exit codes 3 and 4.
-pub fn run_via_c(prog: &Program, tag: &str) -> Result<CRunResult, CRunError> {
-    let dir = std::env::temp_dir().join(format!("nascent-cback-{}-{}", std::process::id(), tag));
-    std::fs::create_dir_all(&dir)?;
-    let c_path: PathBuf = dir.join("prog.c");
-    let bin_path: PathBuf = dir.join("prog");
-    std::fs::write(&c_path, crate::emit_c(prog))?;
-    let cc = Command::new("cc")
-        .arg("-O1")
+/// The C compiler to invoke: `$CC` when set and non-empty, else `cc`.
+pub(crate) fn cc_command() -> String {
+    std::env::var("CC")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "cc".to_string())
+}
+
+/// Run timeout: `NASCENT_CBACK_TIMEOUT_MS` when set, else 60 s.
+pub(crate) fn run_timeout() -> Duration {
+    std::env::var("NASCENT_CBACK_TIMEOUT_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(60))
+}
+
+/// Scratch directory removed on drop — success, error, and panic paths
+/// all clean up.
+pub(crate) struct TempDir(pub PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Writes `c_source` into `dir` as `<name>.c` and compiles it (with
+/// `-O2 -fwrapv`) to `dir/<name>`, returning the binary path.
+pub(crate) fn compile_c(c_source: &str, dir: &Path, name: &str) -> Result<PathBuf, CRunError> {
+    let c_path = dir.join(format!("{name}.c"));
+    let bin_path = dir.join(name);
+    std::fs::write(&c_path, c_source)?;
+    let compiler = cc_command();
+    let cc = Command::new(&compiler)
+        .arg("-O2")
         .arg("-fwrapv")
         .arg("-o")
         .arg(&bin_path)
@@ -77,81 +169,187 @@ pub fn run_via_c(prog: &Program, tag: &str) -> Result<CRunResult, CRunError> {
         .arg("-lm")
         .output()?;
     if !cc.status.success() {
-        return Err(CRunError::CompileFailed(
-            String::from_utf8_lossy(&cc.stderr).into_owned(),
-        ));
-    }
-    let run = Command::new(&bin_path).output()?;
-    let stdout = String::from_utf8_lossy(&run.stdout).into_owned();
-    if !run.status.success() {
-        return Err(CRunError::RunFailed {
-            code: run.status.code(),
-            stdout,
+        return Err(CRunError::CompileFailed {
+            compiler,
+            stderr: String::from_utf8_lossy(&cc.stderr).into_owned(),
         });
     }
-    parse_protocol(&stdout)
+    Ok(bin_path)
+}
+
+/// Runs a compiled instrumented binary with the given extra environment,
+/// killing it after `timeout`, and parses the protocol.
+pub(crate) fn exec_binary(
+    bin: &Path,
+    envs: &[(&str, String)],
+    timeout: Duration,
+) -> Result<CRunResult, CRunError> {
+    let mut cmd = Command::new(bin);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let mut pipe = child.stdout.take().expect("stdout piped");
+    let reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = pipe.read_to_end(&mut buf);
+        buf
+    });
+    let deadline = Instant::now() + timeout;
+    let status: ExitStatus = loop {
+        if let Some(st) = child.try_wait()? {
+            break st;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = reader.join();
+            return Err(CRunError::Timeout { limit: timeout });
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let stdout = String::from_utf8_lossy(&reader.join().unwrap_or_default()).into_owned();
+    let parsed = parse_protocol(&stdout);
+    match parsed {
+        // a reported runtime error wins over the generic nonzero-exit story
+        Err(CRunError::Runtime(e)) => Err(CRunError::Runtime(e)),
+        _ if !status.success() => Err(CRunError::RunFailed {
+            code: status.code(),
+            stdout,
+        }),
+        other => other,
+    }
+}
+
+/// Emits, compiles (with `-O2 -fwrapv`) and runs `prog`, returning the
+/// parsed counters. The scratch directory is removed whether the run
+/// succeeds or fails. For repeated execution of the same program, use
+/// [`crate::native::NativeRunner`], which caches the compiled binary by
+/// content hash.
+///
+/// # Errors
+///
+/// See [`CRunError`]. Runtime errors (division by zero, undetected
+/// out-of-bounds, negative extents, limit exhaustion) surface as
+/// [`CRunError::Runtime`].
+pub fn run_via_c(prog: &Program, tag: &str) -> Result<CRunResult, CRunError> {
+    let dir =
+        TempDir(std::env::temp_dir().join(format!("nascent-cback-{}-{}", std::process::id(), tag)));
+    std::fs::create_dir_all(&dir.0)?;
+    let bin = compile_c(&crate::emit_c(prog), &dir.0, "prog")?;
+    exec_binary(&bin, &[], run_timeout())
+}
+
+fn bad(line: &str) -> CRunError {
+    CRunError::BadProtocol(line.into())
 }
 
 fn parse_protocol(stdout: &str) -> Result<CRunResult, CRunError> {
     let mut result = CRunResult {
         dynamic_instructions: 0,
+        dynamic_progress: 0,
         dynamic_checks: 0,
         dynamic_guard_ops: 0,
-        trap_function: None,
+        trap: None,
         output: Vec::new(),
+        exec_ns: None,
+        repeat: 1,
     };
     let mut saw_counters = false;
     for line in stdout.lines() {
-        let mut parts = line.splitn(3, ' ');
-        match parts.next() {
+        match line.split(' ').next() {
             Some("O") => {
-                let kind = parts
-                    .next()
-                    .ok_or_else(|| CRunError::BadProtocol(line.into()))?;
-                let val = parts
-                    .next()
-                    .ok_or_else(|| CRunError::BadProtocol(line.into()))?;
+                let mut parts = line.splitn(3, ' ');
+                parts.next();
+                let kind = parts.next().ok_or_else(|| bad(line))?;
+                let val = parts.next().ok_or_else(|| bad(line))?;
                 match kind {
                     "i" => {
-                        let v: i64 = val
-                            .parse()
-                            .map_err(|_| CRunError::BadProtocol(line.into()))?;
+                        let v: i64 = val.parse().map_err(|_| bad(line))?;
                         result.output.push(('i', v as u64));
                     }
                     "r" => {
-                        let v: f64 = val
-                            .parse()
-                            .map_err(|_| CRunError::BadProtocol(line.into()))?;
+                        let v: f64 = val.parse().map_err(|_| bad(line))?;
                         result.output.push(('r', v.to_bits()));
                     }
-                    _ => return Err(CRunError::BadProtocol(line.into())),
+                    _ => return Err(bad(line)),
                 }
             }
             Some("T") => {
-                result.trap_function = Some(parts.next().unwrap_or("").to_string());
+                // T <ins> <prg> <fn> <check...>
+                let mut parts = line.splitn(5, ' ');
+                parts.next();
+                let ins = parts.next().ok_or_else(|| bad(line))?;
+                let prg = parts.next().ok_or_else(|| bad(line))?;
+                let function = parts.next().ok_or_else(|| bad(line))?.to_string();
+                let check = parts.next().unwrap_or("").to_string();
+                result.trap = Some(CTrap {
+                    function,
+                    check,
+                    at_instruction: ins.parse().map_err(|_| bad(line))?,
+                    at_progress: prg.parse().map_err(|_| bad(line))?,
+                });
             }
             Some("C") => {
                 let rest = line[2..].trim();
                 for field in rest.split_whitespace() {
-                    let (key, val) = field
-                        .split_once('=')
-                        .ok_or_else(|| CRunError::BadProtocol(line.into()))?;
-                    let v: u64 = val
-                        .parse()
-                        .map_err(|_| CRunError::BadProtocol(line.into()))?;
+                    let (key, val) = field.split_once('=').ok_or_else(|| bad(line))?;
+                    let v: u64 = val.parse().map_err(|_| bad(line))?;
                     match key {
                         "ins" => result.dynamic_instructions = v,
                         "chk" => result.dynamic_checks = v,
                         "grd" => result.dynamic_guard_ops = v,
-                        _ => return Err(CRunError::BadProtocol(line.into())),
+                        "prg" => result.dynamic_progress = v,
+                        _ => return Err(bad(line)),
                     }
                 }
                 saw_counters = true;
             }
-            Some("E") => {
-                return Err(CRunError::BadProtocol(format!("runtime error: {line}")));
+            Some("R") => {
+                for field in line[2..].split_whitespace() {
+                    let (key, val) = field.split_once('=').ok_or_else(|| bad(line))?;
+                    let v: u64 = val.parse().map_err(|_| bad(line))?;
+                    match key {
+                        "ns" => result.exec_ns = Some(v),
+                        "repeat" => result.repeat = v,
+                        _ => return Err(bad(line)),
+                    }
+                }
             }
-            _ => return Err(CRunError::BadProtocol(line.into())),
+            Some("E") => {
+                let parts: Vec<&str> = line.split(' ').collect();
+                let err = match parts.get(1).copied() {
+                    Some("steps") => CRuntimeError::StepLimit,
+                    Some("depth") => CRuntimeError::CallDepth,
+                    Some("div") => CRuntimeError::DivisionByZero {
+                        function: parts.get(2).ok_or_else(|| bad(line))?.to_string(),
+                    },
+                    Some("oob") => {
+                        if parts.len() != 8 {
+                            return Err(bad(line));
+                        }
+                        CRuntimeError::OutOfBounds {
+                            function: parts[2].to_string(),
+                            array: parts[3].to_string(),
+                            dim: parts[4].parse().map_err(|_| bad(line))?,
+                            index: parts[5].parse().map_err(|_| bad(line))?,
+                            lo: parts[6].parse().map_err(|_| bad(line))?,
+                            hi: parts[7].parse().map_err(|_| bad(line))?,
+                        }
+                    }
+                    Some("bad") => CRuntimeError::BadBounds {
+                        function: parts.get(2).ok_or_else(|| bad(line))?.to_string(),
+                        array: parts.get(3).ok_or_else(|| bad(line))?.to_string(),
+                    },
+                    _ => return Err(bad(line)),
+                };
+                return Err(CRunError::Runtime(err));
+            }
+            _ => return Err(bad(line)),
         }
     }
     if !saw_counters {
@@ -166,14 +364,66 @@ mod tests {
 
     #[test]
     fn protocol_parses() {
-        let r = parse_protocol("O i 42\nO r 1.5\nT demo\nC ins=100 chk=7 grd=2\n").unwrap();
+        let r = parse_protocol(
+            "O i 42\nO r 1.5\nT 100 37 demo Check (i <= 5)\nC ins=100 chk=7 grd=2 prg=37\n",
+        )
+        .unwrap();
         assert_eq!(r.dynamic_instructions, 100);
         assert_eq!(r.dynamic_checks, 7);
         assert_eq!(r.dynamic_guard_ops, 2);
-        assert_eq!(r.trap_function.as_deref(), Some("demo"));
+        assert_eq!(r.dynamic_progress, 37);
+        let trap = r.trap.expect("trap parsed");
+        assert_eq!(trap.function, "demo");
+        assert_eq!(trap.check, "Check (i <= 5)");
+        assert_eq!(trap.at_instruction, 100);
+        assert_eq!(trap.at_progress, 37);
         assert_eq!(r.output.len(), 2);
         assert_eq!(r.output[0], ('i', 42));
         assert_eq!(r.output[1], ('r', 1.5f64.to_bits()));
+        assert_eq!(r.exec_ns, None);
+    }
+
+    #[test]
+    fn timing_line_parses() {
+        let r = parse_protocol("R ns=12345 repeat=10\nC ins=1 chk=0 grd=0 prg=1\n").unwrap();
+        assert_eq!(r.exec_ns, Some(12345));
+        assert_eq!(r.repeat, 10);
+    }
+
+    #[test]
+    fn runtime_errors_parse() {
+        match parse_protocol("E div main\n") {
+            Err(CRunError::Runtime(CRuntimeError::DivisionByZero { function })) => {
+                assert_eq!(function, "main");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_protocol("E oob main a 1 7 1 5\n") {
+            Err(CRunError::Runtime(CRuntimeError::OutOfBounds {
+                function,
+                array,
+                dim,
+                index,
+                lo,
+                hi,
+            })) => {
+                assert_eq!((function.as_str(), array.as_str()), ("main", "a"));
+                assert_eq!((dim, index, lo, hi), (1, 7, 1, 5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_protocol("E steps\n"),
+            Err(CRunError::Runtime(CRuntimeError::StepLimit))
+        ));
+        assert!(matches!(
+            parse_protocol("E depth\n"),
+            Err(CRunError::Runtime(CRuntimeError::CallDepth))
+        ));
+        assert!(matches!(
+            parse_protocol("E bad main a\n"),
+            Err(CRunError::Runtime(CRuntimeError::BadBounds { .. }))
+        ));
     }
 
     #[test]

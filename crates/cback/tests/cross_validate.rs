@@ -23,14 +23,27 @@ fn assert_agree(name: &str, interp: &RunResult, c: &CRunResult) {
         "{name}: guard counts differ"
     );
     assert_eq!(
+        interp.dynamic_progress, c.dynamic_progress,
+        "{name}: progress counts differ"
+    );
+    assert_eq!(
         interp.trap.is_some(),
-        c.trap_function.is_some(),
+        c.trap.is_some(),
         "{name}: trap verdicts differ ({:?} vs {:?})",
         interp.trap,
-        c.trap_function
+        c.trap
     );
-    if let (Some(t), Some(cf)) = (&interp.trap, &c.trap_function) {
-        assert_eq!(&t.function, cf, "{name}: trap functions differ");
+    if let (Some(t), Some(ct)) = (&interp.trap, &c.trap) {
+        assert_eq!(t.function, ct.function, "{name}: trap functions differ");
+        assert_eq!(t.check, ct.check, "{name}: trap check strings differ");
+        assert_eq!(
+            t.at_instruction, ct.at_instruction,
+            "{name}: trap instruction positions differ"
+        );
+        assert_eq!(
+            t.at_progress, ct.at_progress,
+            "{name}: trap progress positions differ"
+        );
     }
     assert_eq!(
         interp.output.len(),

@@ -110,7 +110,7 @@ pub fn parse_discharge(mode: &str) -> Result<Discharge, String> {
     }
 }
 
-/// Parses an engine name (`tree` or `vm`).
+/// Parses an engine name (`tree`, `vm`, or `native`).
 pub fn parse_engine(name: &str) -> Result<Engine, String> {
     name.parse::<Engine>()
 }
@@ -207,10 +207,7 @@ impl RunConfig {
                 Discharge::On => "on",
                 Discharge::Off => "off",
             },
-            match self.engine {
-                Engine::Tree => "tree",
-                Engine::Vm => "vm",
-            },
+            self.engine.name(),
             self.classic,
             self.optimize,
         )
@@ -256,6 +253,14 @@ mod tests {
         assert!(RunConfig::from_args(&args(&["--scheme"])).is_err());
         assert!(RunConfig::from_args(&args(&["--scheme", "BOGUS"])).is_err());
         assert!(RunConfig::from_args(&args(&["--engine", "jit"])).is_err());
+    }
+
+    #[test]
+    fn engine_native_parses_and_fingerprints() {
+        let c = RunConfig::from_args(&args(&["--engine", "native"])).unwrap();
+        assert_eq!(c.engine, Engine::Native);
+        assert!(c.fingerprint().contains("engine=native"));
+        assert_ne!(c.fingerprint(), RunConfig::default().fingerprint());
     }
 
     #[test]

@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 use nascent_analysis::context::PassContext;
 use nascent_frontend::compile;
 use nascent_interp::{
-    lower, run_compiled, run_with_engine, CompiledProgram, Engine, Limits, RunResult,
+    lower, run_compiled, run_with_engine, CompiledProgram, Engine, Limits, RunError, RunResult,
+    Value,
 };
 use nascent_ir::Program;
 use nascent_rangecheck::{
@@ -391,14 +392,83 @@ impl MatrixReport {
     }
 }
 
-/// Worker-thread count for [`run_matrix`]: the machine's parallelism,
-/// capped by the number of cells.
+/// Worker-thread count for [`run_matrix`]: `NASCENT_THREADS` when set to
+/// a positive integer, otherwise the machine's available parallelism;
+/// either way capped by the number of cells. The override exists so
+/// constrained CI runners (and benchmark snapshots) can pin — and
+/// honestly report — the worker count actually used.
 pub fn matrix_threads(cells: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let requested = std::env::var("NASCENT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0);
+    requested
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .min(cells)
         .max(1)
+}
+
+/// Bit-level equality of two run results: counters, trap records, and
+/// outputs, with `Real` outputs compared by bit pattern (so `-0.0` and
+/// `0.0` differ and NaNs equal themselves) — the differential criterion,
+/// stricter than [`RunResult`]'s `PartialEq`.
+pub fn results_bit_identical(a: &RunResult, b: &RunResult) -> bool {
+    a.dynamic_instructions == b.dynamic_instructions
+        && a.dynamic_progress == b.dynamic_progress
+        && a.dynamic_checks == b.dynamic_checks
+        && a.dynamic_guard_ops == b.dynamic_guard_ops
+        && a.trap == b.trap
+        && a.output.len() == b.output.len()
+        && a.output.iter().zip(&b.output).all(|(x, y)| match (x, y) {
+            (Value::Int(x), Value::Int(y)) => x == y,
+            (Value::Real(x), Value::Real(y)) => x.to_bits() == y.to_bits(),
+            _ => false,
+        })
+}
+
+/// Runs `prog` on every engine in `engines` and asserts the outcomes are
+/// bit-identical: counters, outputs (reals by bit pattern), trap records,
+/// and error verdicts alike. Returns the first engine's outcome.
+///
+/// # Panics
+///
+/// Panics if any two engines diverge, or if the native tier fails for an
+/// infrastructure reason (no C compiler, compile rejection, timeout) —
+/// gate native runs on [`nascent_cback::cc_available`] first.
+pub fn compare_engines(
+    name: &str,
+    prog: &Program,
+    limits: &Limits,
+    engines: &[Engine],
+) -> Result<RunResult, RunError> {
+    assert!(!engines.is_empty(), "compare_engines needs an engine");
+    let mut outcomes: Vec<(Engine, Result<RunResult, RunError>)> = Vec::new();
+    for &e in engines {
+        let r = run_with_engine(prog, limits, e);
+        if let Err(RunError::NativeBackend(msg)) = &r {
+            panic!("{name}: native tier infrastructure failure: {msg}");
+        }
+        outcomes.push((e, r));
+    }
+    let (e0, first) = &outcomes[0];
+    for (e, r) in &outcomes[1..] {
+        let same = match (first, r) {
+            (Ok(a), Ok(b)) => results_bit_identical(a, b),
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        assert!(
+            same,
+            "{name}: engines diverge:\n  {}: {first:?}\n  {}: {r:?}",
+            e0.name(),
+            e.name(),
+        );
+    }
+    outcomes.swap_remove(0).1
 }
 
 /// Evaluates (and optionally certifies) every `configs[i]` × `prepared[j]`

@@ -48,7 +48,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nascent_interp::Limits;
+use nascent_interp::{Engine, Limits};
 use nascent_obs::metrics::{percentile, Counter, Gauge, Histogram, Registry, Reservoir};
 use nascent_obs::trace::{chrome_trace_json, set_request_id, ScopedCollector};
 
@@ -156,10 +156,19 @@ pub struct Metrics {
     cache_coalesced: Gauge,
     cache_entries: Gauge,
     cache_hit_rate: Gauge,
+    /// Native compile-cache gauges, synced from
+    /// [`nascent_cback::native::global_stats`] at render time.
+    native_hits: Gauge,
+    native_compiles: Gauge,
+    native_coalesced: Gauge,
+    native_entries: Gauge,
+    native_hit_rate: Gauge,
     /// Completed pipeline-request latencies (µs), bounded window.
     latencies: Reservoir,
     optimize_latency: Histogram,
     certify_latency: Histogram,
+    /// Pipeline-request latency by execution engine (tree/vm/native).
+    engine_latency: [Histogram; 3],
     /// Per-stage wall-time histograms (parse, naive-run, optimize,
     /// certify, execute), fed from [`Outcome::stages`] on fresh
     /// computations (cache hits did not run the stages).
@@ -168,6 +177,7 @@ pub struct Metrics {
 
 const RESPONSE_CODES: [&str; 6] = ["200", "400", "404", "405", "500", "503"];
 const STAGES: [&str; 5] = ["parse", "naive-run", "optimize", "certify", "execute"];
+const ENGINES: [Engine; 3] = [Engine::Tree, Engine::Vm, Engine::Native];
 
 impl Metrics {
     fn new(workers: usize, queue_limit: usize) -> Metrics {
@@ -190,6 +200,13 @@ impl Metrics {
             registry.gauge(
                 "nascentd_cache",
                 "Fleet-wide result cache traffic",
+                &[("stat", stat)],
+            )
+        };
+        let native_gauge = |stat: &str| {
+            registry.gauge(
+                "nascentd_native_cache",
+                "Native-tier compile cache traffic (process-wide)",
                 &[("stat", stat)],
             )
         };
@@ -246,9 +263,22 @@ impl Metrics {
             cache_coalesced: cache_gauge("coalesced"),
             cache_entries: cache_gauge("entries"),
             cache_hit_rate: cache_gauge("hit_rate"),
+            native_hits: native_gauge("hits"),
+            native_compiles: native_gauge("compiles"),
+            native_coalesced: native_gauge("coalesced"),
+            native_entries: native_gauge("entries"),
+            native_hit_rate: native_gauge("hit_rate"),
             latencies: Reservoir::new(LATENCY_RESERVOIR),
             optimize_latency: lat("optimize"),
             certify_latency: lat("certify"),
+            engine_latency: ENGINES.map(|e| {
+                registry.histogram(
+                    "nascentd_engine_duration_seconds",
+                    "Pipeline request latency, by execution engine",
+                    &[("engine", e.name())],
+                    nascent_obs::metrics::LATENCY_BUCKETS,
+                )
+            }),
             stage_latency: STAGES.map(stage),
             registry,
         }
@@ -262,11 +292,14 @@ impl Metrics {
         self.responses[idx].inc();
     }
 
-    fn record_latency(&self, mode: Mode, d: Duration) {
+    fn record_latency(&self, mode: Mode, engine: Engine, d: Duration) {
         self.latencies.observe(d.as_micros() as u64);
         match mode {
             Mode::Optimize => self.optimize_latency.observe_duration(d),
             Mode::Certify => self.certify_latency.observe_duration(d),
+        }
+        if let Some(i) = ENGINES.iter().position(|e| *e == engine) {
+            self.engine_latency[i].observe_duration(d);
         }
     }
 
@@ -309,6 +342,13 @@ impl Metrics {
         self.cache_entries.set(cache.entries as f64);
         self.cache_hit_rate
             .set((cache.hit_rate() * 1e4).round() / 1e4);
+        let native = nascent_cback::native::global_stats();
+        self.native_hits.set(native.hits as f64);
+        self.native_compiles.set(native.compiles as f64);
+        self.native_coalesced.set(native.coalesced as f64);
+        self.native_entries.set(native.entries as f64);
+        self.native_hit_rate
+            .set((native.hit_rate() * 1e4).round() / 1e4);
         self.queued_gauge
             .set(self.queued.load(Ordering::Relaxed) as f64);
     }
@@ -321,6 +361,7 @@ impl Metrics {
 
     fn render(&self, pipeline: &Pipeline, workers: usize, queue_limit: usize) -> Json {
         let cache = pipeline.cache_stats();
+        let native = nascent_cback::native::global_stats();
         let (total, window, lat) = self.latencies.snapshot();
         let ms = |v: f64| Json::Num((v * 1e3).round() / 1e3);
         let pct = |p: f64| ms(percentile(&lat, p) / 1e3);
@@ -352,6 +393,19 @@ impl Metrics {
                     (
                         "hit_rate",
                         Json::Num((cache.hit_rate() * 1e4).round() / 1e4),
+                    ),
+                ]),
+            ),
+            (
+                "native_cache",
+                obj(vec![
+                    ("hits", Json::Int(native.hits as i64)),
+                    ("compiles", Json::Int(native.compiles as i64)),
+                    ("coalesced", Json::Int(native.coalesced as i64)),
+                    ("entries", Json::Int(native.entries as i64)),
+                    (
+                        "hit_rate",
+                        Json::Num((native.hit_rate() * 1e4).round() / 1e4),
                     ),
                 ]),
             ),
@@ -743,7 +797,9 @@ fn pipeline_endpoint(
     let before = shared.pipeline.cache_stats();
     let t0 = Instant::now();
     let result = shared.pipeline.run(&req);
-    shared.metrics.record_latency(mode, t0.elapsed());
+    shared
+        .metrics
+        .record_latency(mode, req.config.engine, t0.elapsed());
     let trace = collector.map(|c| {
         let spans = c.finish();
         // rendered and re-parsed so it embeds as a JSON value, keeping

@@ -31,18 +31,24 @@
 
 pub mod bytecode;
 pub mod machine;
+pub mod native;
 pub mod vm;
 
 pub use bytecode::{lower, CompiledProgram};
 pub use machine::{run, run_traced, Limits, RunError, RunResult, TraceEvent, Trap, Value};
+pub use native::run_native;
 pub use vm::run_compiled;
 
 /// Which execution engine to use for dynamic-count measurement.
 ///
-/// Both engines implement the same observable semantics (outputs, dynamic
+/// All engines implement the same observable semantics (outputs, dynamic
 /// instruction/check/guard counters, trap behavior); [`Engine::Vm`] lowers
 /// the program to register bytecode once and dispatches a flat instruction
 /// stream, which is substantially faster for the measurement harness.
+/// [`Engine::Native`] goes all the way to machine code: the program is
+/// translated to instrumented C (the paper's own §4 methodology),
+/// compiled once per distinct program through `nascent-cback`'s
+/// content-hash compile cache, and executed as a child process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// The original tree-walking interpreter ([`machine::run`]).
@@ -50,6 +56,22 @@ pub enum Engine {
     /// The register-bytecode VM ([`vm::run_compiled`] over [`bytecode::lower`]).
     #[default]
     Vm,
+    /// The compiled-to-machine-code tier ([`native::run_native`] over the
+    /// `nascent-cback` compile cache). Requires a C compiler on the host
+    /// (`$CC`, falling back to `cc`).
+    Native,
+}
+
+impl Engine {
+    /// `tree` / `vm` / `native`, as used in flags, JSON, and metrics
+    /// labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Vm => "vm",
+            Engine::Native => "native",
+        }
+    }
 }
 
 impl std::str::FromStr for Engine {
@@ -58,8 +80,9 @@ impl std::str::FromStr for Engine {
         match s {
             "tree" => Ok(Engine::Tree),
             "vm" => Ok(Engine::Vm),
+            "native" => Ok(Engine::Native),
             other => Err(format!(
-                "unknown engine `{other}` (expected `tree` or `vm`)"
+                "unknown engine `{other}` (expected `tree`, `vm`, or `native`)"
             )),
         }
     }
@@ -71,21 +94,18 @@ impl std::str::FromStr for Engine {
 /// is lowered with [`lower`] and executed with [`run_compiled`]. Callers that
 /// execute the same program many times should lower once and call
 /// [`run_compiled`] directly to amortize the lowering cost.
+/// [`Engine::Native`] amortizes automatically: the compiled binary is
+/// cached process-wide by content hash, so re-runs just exec.
 pub fn run_with_engine(
     prog: &nascent_ir::Program,
     limits: &Limits,
     engine: Engine,
 ) -> Result<RunResult, RunError> {
     let mut sp = nascent_obs::trace::span("interp", "engine");
-    sp.attr(
-        "engine",
-        match engine {
-            Engine::Tree => "tree",
-            Engine::Vm => "vm",
-        },
-    );
+    sp.attr("engine", engine.name());
     match engine {
         Engine::Tree => run(prog, limits),
         Engine::Vm => run_compiled(&lower(prog), limits),
+        Engine::Native => run_native(prog, limits),
     }
 }

@@ -143,6 +143,10 @@ pub enum RunError {
     },
     /// An array was declared with `lower > upper + 1` (negative extent).
     BadBounds { function: String, array: String },
+    /// The native tier failed outside program semantics: no C compiler,
+    /// compile rejection, run timeout, or protocol corruption. Never
+    /// produced by the interpreter engines.
+    NativeBackend(String),
 }
 
 impl fmt::Display for RunError {
@@ -167,6 +171,7 @@ impl fmt::Display for RunError {
             RunError::BadBounds { function, array } => {
                 write!(f, "array {array} in {function} has negative extent")
             }
+            RunError::NativeBackend(msg) => write!(f, "native tier: {msg}"),
         }
     }
 }

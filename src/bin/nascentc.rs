@@ -20,9 +20,12 @@
 //!                                           checks the value-range pass
 //!                                           proves safe (default off)
 //!   --no-opt                                keep the naive checks
-//!   --engine tree|vm                        (run/compare) execution engine
+//!   --engine tree|vm|native                 (run/compare) execution engine
 //!                                           (default vm); counters are
-//!                                           engine-invariant
+//!                                           engine-invariant. `native`
+//!                                           compiles to instrumented C
+//!                                           through a content-hash compile
+//!                                           cache (needs $CC or cc)
 //!   --certify                               (stats/report) also run the
 //!                                           static certifier on the result
 //!   --timings                               (stats) per-analysis/per-pass
